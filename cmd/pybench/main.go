@@ -1,0 +1,340 @@
+// Command pybench regenerates the paper's tables and figures and runs
+// individual benchmark experiments from the command line.
+//
+// Usage:
+//
+//	pybench -list                         # list benchmarks and experiments
+//	pybench -exp T2                       # regenerate one table/figure
+//	pybench -exp all                      # regenerate everything
+//	pybench -bench nbody -mode jit        # run one experiment and summarize
+//	pybench -bench nbody -json            # raw per-invocation data as JSON
+//	pybench -suite                        # Holm-corrected suite comparison
+//	pybench -profile dictstress           # per-opcode execution profile
+//	pybench -dis fib                      # bytecode disassembly
+//	pybench -exp F3 -csv                  # CSV output (also: -markdown)
+//
+// Scale/noise knobs: -invocations, -iterations, -trials, -seed, -noise
+// {default,quiet,noisy,none}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/harness"
+	"repro/internal/methodology"
+	"repro/internal/noise"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list benchmarks and experiment ids")
+		exp         = flag.String("exp", "", "experiment id (T1..T5, F1..F8, A1..A6) or 'all'")
+		bench       = flag.String("bench", "", "run a single benchmark experiment")
+		mode        = flag.String("mode", "interp", "engine for -bench: interp or jit")
+		invocations = flag.Int("invocations", 0, "invocations per experiment (0 = default)")
+		iterations  = flag.Int("iterations", 0, "iterations per invocation (0 = default)")
+		trials      = flag.Int("trials", 0, "synthetic trials for T4/F8 (0 = default)")
+		seed        = flag.Uint64("seed", 0, "experiment seed (0 = default)")
+		noiseName   = flag.String("noise", "default", "noise model: default, quiet, noisy, none")
+		csv         = flag.Bool("csv", false, "emit tables as CSV")
+		markdown    = flag.Bool("markdown", false, "emit tables as Markdown")
+		suite       = flag.Bool("suite", false, "rigorous interp-vs-JIT suite comparison with Holm correction")
+		jsonOut     = flag.Bool("json", false, "with -bench: dump the raw result (all invocations) as JSON")
+		profile     = flag.String("profile", "", "print the per-opcode execution profile of a benchmark")
+		dis         = flag.String("dis", "", "disassemble a benchmark's bytecode")
+	)
+	flag.Parse()
+
+	np, err := noiseByName(*noiseName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		Seed:        *seed,
+		Invocations: *invocations,
+		Iterations:  *iterations,
+		Trials:      *trials,
+		Noise:       np,
+	}
+
+	style := renderText
+	if *csv {
+		style = renderCSV
+	}
+	if *markdown {
+		style = renderMarkdown
+	}
+
+	switch {
+	case *list:
+		doList()
+	case *profile != "":
+		if err := doProfile(*profile); err != nil {
+			fatal(err)
+		}
+	case *dis != "":
+		if err := doDisassemble(*dis); err != nil {
+			fatal(err)
+		}
+	case *suite:
+		if err := doSuite(cfg, style); err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		if err := doBench(*bench, *mode, cfg, *jsonOut); err != nil {
+			fatal(err)
+		}
+	case *exp != "":
+		if err := doExperiments(*exp, cfg, style); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// renderStyle selects the table output format.
+type renderStyle int
+
+const (
+	renderText renderStyle = iota
+	renderCSV
+	renderMarkdown
+)
+
+func emit(out fmt.Stringer, style renderStyle) {
+	if tbl, ok := out.(*report.Table); ok {
+		switch style {
+		case renderCSV:
+			tbl.CSV(os.Stdout)
+			return
+		case renderMarkdown:
+			tbl.Markdown(os.Stdout)
+			fmt.Println()
+			return
+		}
+	}
+	fmt.Println(out.String())
+}
+
+// doSuite runs the rigorous methodology across the whole suite with
+// family-wise (Holm–Bonferroni) error control.
+func doSuite(cfg core.Config, style renderStyle) error {
+	inv, iter := cfg.Invocations, cfg.Iterations
+	if inv == 0 {
+		inv = 10
+	}
+	if iter == 0 {
+		iter = 30
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	np := cfg.Noise
+	if np == (noise.Params{}) {
+		np = noise.Default()
+	}
+	runner := harness.NewRunner()
+	var names []string
+	var baselines, treatments []stats.HierarchicalSample
+	for _, wl := range workloads.Suite() {
+		interp, jit, err := runner.RunPair(wl, harness.Options{
+			Invocations: inv, Iterations: iter, Seed: seed, Noise: np,
+		})
+		if err != nil {
+			return err
+		}
+		names = append(names, wl.Name)
+		baselines = append(baselines, interp.Hierarchical())
+		treatments = append(treatments, jit.Hierarchical())
+	}
+	results := methodology.CompareSuite(names, baselines, treatments,
+		methodology.Rigorous{Seed: seed}, 0.05)
+	t := report.NewTable(
+		fmt.Sprintf("Suite comparison: JIT vs interpreter (%d×%d, Holm at α=0.05)", inv, iter),
+		"benchmark", "speedup", "CI lo", "CI hi", "p-value", "verdict")
+	var speedups []float64
+	for _, r := range results {
+		t.AddRow(r.Benchmark, r.Speedup, r.CI.Lo, r.CI.Hi, r.PValue, r.Verdict.String())
+		speedups = append(speedups, r.Speedup)
+	}
+	t.AddRow("GEOMEAN", stats.GeoMean(speedups), "", "", "", "")
+	t.Caption = "Verdicts are Holm–Bonferroni adjusted: family-wise false-positive rate ≤ 5%."
+	emit(t, style)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pybench:", err)
+	os.Exit(1)
+}
+
+func noiseByName(name string) (noise.Params, error) {
+	switch name {
+	case "default", "":
+		return noise.Default(), nil
+	case "quiet":
+		return noise.Quiet(), nil
+	case "noisy":
+		return noise.Noisy(), nil
+	case "none":
+		// The zero Params would be replaced by the default in core.Config,
+		// so nudge one field to keep it distinct while staying noiseless.
+		return noise.Params{SpikeProb: 0, IterationSigma: 1e-12}, nil
+	}
+	return noise.Params{}, fmt.Errorf("unknown noise model %q", name)
+}
+
+func doList() {
+	t := report.NewTable("Benchmarks (canonical suite)", "name", "class", "description")
+	for _, b := range workloads.Suite() {
+		t.AddRow(b.Name, string(b.Class), b.Description)
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	x := report.NewTable("Extended workloads (usable with -bench/-profile/-dis)",
+		"name", "class", "description")
+	for _, b := range workloads.Extended() {
+		x.AddRow(b.Name, string(b.Class), b.Description)
+	}
+	fmt.Print(x.String())
+	fmt.Println()
+	fmt.Println("Experiments:", core.ExperimentIDs())
+}
+
+func doExperiments(id string, cfg core.Config, style renderStyle) error {
+	engine := core.New(cfg)
+	ids := []string{id}
+	if id == "all" {
+		ids = core.ExperimentIDs()
+	}
+	for _, x := range ids {
+		out, err := engine.Experiment(x)
+		if err != nil {
+			return err
+		}
+		emit(out, style)
+	}
+	return nil
+}
+
+func doBench(name, modeName string, cfg core.Config, jsonOut bool) error {
+	b, ok := workloads.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (try -list)", name)
+	}
+	var mode vm.Mode
+	switch modeName {
+	case "interp":
+		mode = vm.ModeInterp
+	case "jit":
+		mode = vm.ModeJIT
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	inv, iter := cfg.Invocations, cfg.Iterations
+	if inv == 0 {
+		inv = 10
+	}
+	if iter == 0 {
+		iter = 30
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	np := cfg.Noise
+	if np == (noise.Params{}) {
+		np = noise.Default()
+	}
+	runner := harness.NewRunner()
+	res, err := runner.Run(b, harness.Options{
+		Mode:        mode,
+		Invocations: inv,
+		Iterations:  iter,
+		Seed:        seed,
+		Noise:       np,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+	hs := res.Hierarchical()
+	means := hs.InvocationMeans()
+	ci := stats.KaliberaMeanCI(hs, 0.95)
+	vd := stats.DecomposeVariance(hs)
+	rep := methodology.ClassifyExperiment(hs)
+
+	t := report.NewTable(fmt.Sprintf("%s / %s (%d×%d, seed %d)", b.Name, mode, inv, iter, seed),
+		"metric", "value")
+	t.AddRow("mean (ms)", 1e3*stats.Mean(means))
+	t.AddRow("median (ms)", 1e3*stats.Median(means))
+	t.AddRow("CoV invocations (%)", 100*stats.CoV(means))
+	t.AddRow("95% CI (ms)", fmt.Sprintf("[%s, %s]",
+		report.FormatFloat(1e3*ci.Lo), report.FormatFloat(1e3*ci.Hi)))
+	t.AddRow("between-invocation var frac (%)", 100*vd.BetweenFraction())
+	t.AddRow("steady-state class", rep.Class.String())
+	t.AddRow("mean steady start (iter)", rep.MeanSteadyStart)
+	t.AddRow("checksum", res.Invocations[0].Checksum)
+	fmt.Print(t.String())
+	return nil
+}
+
+// doProfile prints the per-opcode execution profile of one run() call.
+func doProfile(name string) error {
+	b, ok := workloads.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (try -list)", name)
+	}
+	code, err := b.Compile()
+	if err != nil {
+		return err
+	}
+	model := counters.NewModel()
+	engine := vm.New(vm.Config{Probe: model})
+	if _, err := engine.RunModule(code); err != nil {
+		return err
+	}
+	model.Reset() // profile the measured iteration only, not module setup
+	if _, err := engine.CallGlobal("run"); err != nil {
+		return err
+	}
+	top := model.TopOps(15)
+	t := report.NewTable(fmt.Sprintf("Opcode profile: %s (one run() call, interpreter)", name),
+		"opcode", "count", "% of ops")
+	total := float64(model.Ops)
+	for _, oc := range top {
+		t.AddRow(oc.Op.String(), oc.Count, fmt.Sprintf("%.1f", 100*float64(oc.Count)/total))
+	}
+	snap := model.Snapshot()
+	t.Caption = fmt.Sprintf("%d ops, %d instructions, IPC %.2f, dispatch miss %.0f%%.",
+		model.Ops, model.Instructions, snap.IPC, 100*snap.DispatchMiss)
+	fmt.Print(t.String())
+	return nil
+}
+
+// doDisassemble prints a benchmark's compiled bytecode.
+func doDisassemble(name string) error {
+	b, ok := workloads.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (try -list)", name)
+	}
+	code, err := b.Compile()
+	if err != nil {
+		return err
+	}
+	fmt.Print(code.Disassemble())
+	return nil
+}

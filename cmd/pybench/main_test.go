@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+)
+
+func TestNoiseByName(t *testing.T) {
+	cases := map[string]noise.Params{
+		"":        noise.Default(),
+		"default": noise.Default(),
+		"quiet":   noise.Quiet(),
+		"noisy":   noise.Noisy(),
+	}
+	for name, want := range cases {
+		got, err := noiseByName(name)
+		if err != nil {
+			t.Fatalf("noiseByName(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("noiseByName(%q) = %+v", name, got)
+		}
+	}
+	if _, err := noiseByName("bogus"); err == nil {
+		t.Fatal("unknown noise name must error")
+	}
+	none, err := noiseByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.InvocationSigma != 0 || none.SpikeProb != 0 {
+		t.Fatalf("none model should be noiseless: %+v", none)
+	}
+}
+
+func TestDoBenchErrors(t *testing.T) {
+	if err := doBench("no-such-benchmark", "interp", core.Config{}, false); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if err := doBench("fib", "turbo", core.Config{}, false); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}
+
+func TestDoProfileAndDisassembleErrors(t *testing.T) {
+	if err := doProfile("no-such-benchmark"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if err := doDisassemble("no-such-benchmark"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestDoExperimentsUnknownID(t *testing.T) {
+	if err := doExperiments("T99", core.Config{Invocations: 2, Iterations: 2}, renderText); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+}

@@ -1,0 +1,59 @@
+// counter-characterization: run the suite on the interpreter with the
+// simulated hardware-counter model attached and print the
+// microarchitectural characterization — IPC, cache and branch MPKI, and
+// the top-down bound breakdown.
+//
+//	go run ./examples/counter-characterization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/noise"
+	"repro/internal/report"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	runner := harness.NewRunner()
+	t := report.NewTable("Microarchitectural characterization (interpreter)",
+		"benchmark", "IPC", "L1 MPKI", "br MPKI", "disp miss%",
+		"retiring%", "frontend%", "badspec%", "backend%")
+	var worstDispatch, bestIPC string
+	var worstDispatchVal, bestIPCVal float64
+	for _, b := range workloads.Suite() {
+		res, err := runner.Run(b, harness.Options{
+			Mode:         vm.ModeInterp,
+			Invocations:  1,
+			Iterations:   3,
+			Noise:        noise.None(),
+			WithCounters: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Invocations[0].Counters
+		t.AddRow(b.Name, s.IPC, s.L1MPKI, s.BranchMPKI,
+			fmt.Sprintf("%.1f", 100*s.DispatchMiss),
+			fmt.Sprintf("%.1f", 100*s.Retiring),
+			fmt.Sprintf("%.1f", 100*s.FrontendBound),
+			fmt.Sprintf("%.1f", 100*s.BadSpecBound),
+			fmt.Sprintf("%.1f", 100*s.BackendBound))
+		if s.DispatchMiss > worstDispatchVal {
+			worstDispatchVal, worstDispatch = s.DispatchMiss, b.Name
+		}
+		if s.IPC > bestIPCVal {
+			bestIPCVal, bestIPC = s.IPC, b.Name
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	fmt.Printf("Highest IPC: %s (%.2f) — regular numeric kernels keep the pipeline fed.\n",
+		bestIPC, bestIPCVal)
+	fmt.Printf("Worst dispatch predictability: %s (%.0f%% miss) — irregular opcode\n",
+		worstDispatch, 100*worstDispatchVal)
+	fmt.Println("sequences are why bytecode interpreters are frontend/branch bound.")
+}

@@ -1,0 +1,80 @@
+// warmup-analysis: reproduce the paper's warmup study on the built-in
+// suite — per-iteration timing curves, changepoint detection, and the
+// steady-state taxonomy (flat / warmup / slowdown / no steady state /
+// inconsistent).
+//
+//	go run ./examples/warmup-analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/methodology"
+	"repro/internal/noise"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	runner := harness.NewRunner()
+
+	fmt.Println("Per-iteration warmup curves (noise-free, JIT engine)")
+	fmt.Println("----------------------------------------------------")
+	for _, name := range []string{"nbody", "richards", "branchy"} {
+		b, ok := workloads.ByName(name)
+		if !ok {
+			log.Fatalf("unknown benchmark %s", name)
+		}
+		res, err := runner.Run(b, harness.Options{
+			Mode:        vm.ModeJIT,
+			Invocations: 1,
+			Iterations:  40,
+			Noise:       noise.None(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		series := res.Invocations[0].TimesSec
+		// Normalize to the steady tail so curves are comparable.
+		tail := stats.Mean(series[len(series)/2:])
+		norm := make([]float64, len(series))
+		for i, v := range series {
+			norm[i] = v / tail
+		}
+		cls := stats.ClassifySteadyState(norm, 0, 0, 0)
+		fmt.Printf("%-10s %s  class=%s steady@%d (first/steady = %.2fx, traces=%d)\n",
+			name, report.Sparkline(norm), cls.Class, cls.SteadyStart,
+			norm[0], res.Invocations[0].JITTraces)
+	}
+
+	fmt.Println()
+	fmt.Println("Cross-invocation steady-state taxonomy (noisy machine)")
+	fmt.Println("------------------------------------------------------")
+	t := report.NewTable("", "benchmark", "interp", "jit")
+	for _, b := range workloads.Suite() {
+		row := []interface{}{b.Name}
+		for _, mode := range []vm.Mode{vm.ModeInterp, vm.ModeJIT} {
+			res, err := runner.Run(b, harness.Options{
+				Mode:        mode,
+				Invocations: 6,
+				Iterations:  50,
+				Seed:        7,
+				Noise:       noise.Default(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := methodology.ClassifyExperiment(res.Hierarchical())
+			row = append(row, rep.Class.String())
+		}
+		t.AddRow(row...)
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+	fmt.Println("Reading: interpreter rows should be flat; JIT rows warm up, and")
+	fmt.Println("guard-hostile or allocation-heavy workloads may be inconsistent.")
+}

@@ -1,0 +1,58 @@
+package counters
+
+// TLB models a fully-associative data TLB with LRU replacement over 4 KiB
+// pages. Interpreter heaps are pointer-chasing by nature, so dTLB behaviour
+// separates compact numeric working sets from sprawling object graphs in
+// the characterization.
+type TLB struct {
+	pageShift uint
+	entries   []uint64 // page numbers + 1; index order = LRU order (front = MRU)
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size in bytes.
+func NewTLB(entryCount, pageBytes int) *TLB {
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &TLB{pageShift: shift, entries: make([]uint64, entryCount)}
+}
+
+// Access translates addr, reporting whether the page was resident. Misses
+// install the page at MRU position.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr>>t.pageShift + 1
+	for i, e := range t.entries {
+		if e == page {
+			// Move to front (MRU).
+			copy(t.entries[1:i+1], t.entries[:i])
+			t.entries[0] = page
+			t.Hits++
+			return true
+		}
+	}
+	t.Misses++
+	copy(t.entries[1:], t.entries[:len(t.entries)-1])
+	t.entries[0] = page
+	return false
+}
+
+// MissRate returns misses / accesses.
+func (t *TLB) MissRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = 0
+	}
+	t.Hits, t.Misses = 0, 0
+}

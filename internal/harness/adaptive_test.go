@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func TestAdaptiveConvergesOnQuietMachine(t *testing.T) {
+	r := NewRunner()
+	b := mustBench(t, "collatz")
+	res, err := r.RunAdaptive(b, AdaptiveOptions{
+		Base: Options{
+			Invocations: 4, Iterations: 8, Seed: 1, Noise: noise.Quiet(),
+		},
+		TargetRelHalfWidth: 0.01,
+		MaxInvocations:     40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("quiet machine should converge: CI ±%.3f%% after %d invocations",
+			100*res.CI.RelHalfWidth(), len(res.Result.Invocations))
+	}
+	if got := res.CI.RelHalfWidth(); got > 0.01 {
+		t.Fatalf("converged but half-width %v > target", got)
+	}
+}
+
+func TestAdaptiveStopsAtBudgetOnNoisyMachine(t *testing.T) {
+	r := NewRunner()
+	b := mustBench(t, "fib")
+	res, err := r.RunAdaptive(b, AdaptiveOptions{
+		Base: Options{
+			Invocations: 3, Iterations: 5, Seed: 2, Noise: noise.Noisy(),
+		},
+		TargetRelHalfWidth: 0.001, // unreachable at this budget
+		MaxInvocations:     12,
+		BatchSize:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("±0.1% on a noisy machine with 12 invocations should not converge")
+	}
+	if got := len(res.Result.Invocations); got != 12 {
+		t.Fatalf("should stop exactly at the cap: %d invocations", got)
+	}
+	if res.Rounds == 0 {
+		t.Fatal("expected extension rounds")
+	}
+}
+
+func TestAdaptiveNeedsMoreInvocationsWhenNoisier(t *testing.T) {
+	r := NewRunner()
+	b := mustBench(t, "collatz")
+	run := func(p noise.Params) int {
+		res, err := r.RunAdaptive(b, AdaptiveOptions{
+			Base:               Options{Invocations: 4, Iterations: 8, Seed: 3, Noise: p},
+			TargetRelHalfWidth: 0.01,
+			MaxInvocations:     80,
+			BatchSize:          4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Result.Invocations)
+	}
+	quiet := run(noise.Quiet())
+	noisy := run(noise.Default())
+	if noisy <= quiet {
+		t.Fatalf("noisier machine should need more invocations: quiet %d, default %d",
+			quiet, noisy)
+	}
+}
+
+func TestAdaptiveRequiresTarget(t *testing.T) {
+	r := NewRunner()
+	b := mustBench(t, "fib")
+	if _, err := r.RunAdaptive(b, AdaptiveOptions{}); err == nil {
+		t.Fatal("missing target must error")
+	}
+}

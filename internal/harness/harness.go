@@ -1,0 +1,238 @@
+// Package harness runs benchmarking experiments with the paper's rigorous
+// design: multiple fresh VM invocations, multiple measured iterations per
+// invocation, deterministic seeded noise, and optional hardware-counter
+// simulation. The output shape (invocation × iteration matrices) is exactly
+// what the statistics layer's two-level analyses consume.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/minipy"
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Options configures one experiment (one benchmark × one engine).
+type Options struct {
+	Mode        vm.Mode
+	Invocations int
+	Iterations  int
+	// Seed drives the noise model and any downstream bootstrap. The same
+	// seed reproduces the experiment exactly.
+	Seed uint64
+	// Noise selects the simulated machine; zero value means noiseless.
+	Noise noise.Params
+	// Cost overrides the engine cost model (zero value = defaults).
+	Cost vm.CostParams
+	// WithCounters attaches the hardware-counter model to each invocation.
+	WithCounters bool
+	// FreqGHz converts simulated cycles to seconds. Defaults to 3.0.
+	FreqGHz float64
+	// MaxStepsPerInvocation bounds runaway workloads (0 = default 2^32).
+	MaxStepsPerInvocation uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Invocations <= 0 {
+		o.Invocations = 10
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 30
+	}
+	if o.FreqGHz <= 0 {
+		o.FreqGHz = 3.0
+	}
+	if o.MaxStepsPerInvocation == 0 {
+		o.MaxStepsPerInvocation = 1 << 32
+	}
+	return o
+}
+
+// Invocation is the measurement record of one fresh VM process.
+type Invocation struct {
+	// TimesSec[j] is the measured (noise-perturbed) wall time of iteration j.
+	TimesSec []float64
+	// Cycles[j] is the raw simulated cycle count of iteration j.
+	Cycles []uint64
+	// Steps[j] is the executed bytecode op count of iteration j.
+	Steps []uint64
+	// Counters is the end-of-invocation hardware-counter snapshot
+	// (nil unless Options.WithCounters).
+	Counters *counters.Snapshot
+	// Mix is the instruction-mix breakdown (zero unless WithCounters).
+	Mix counters.InstructionMix
+	// JITTraces/JITBridges/GuardFails summarize JIT activity (zero for the
+	// interpreter).
+	JITTraces  int
+	JITBridges int
+	GuardFails int
+	// Checksum is the repr() of run()'s return value from the last
+	// iteration, for cross-engine validation.
+	Checksum string
+}
+
+// Result is a complete experiment: all invocations of one benchmark under
+// one engine.
+type Result struct {
+	Benchmark   string
+	Mode        vm.Mode
+	Opts        Options
+	Invocations []Invocation
+}
+
+// Hierarchical converts the measured times into the two-level sample shape
+// the statistics layer uses.
+func (r *Result) Hierarchical() stats.HierarchicalSample {
+	times := make([][]float64, len(r.Invocations))
+	for i, inv := range r.Invocations {
+		times[i] = inv.TimesSec
+	}
+	return stats.HierarchicalSample{Times: times}
+}
+
+// HierarchicalFrom drops the first skip iterations of every invocation
+// (manual warmup exclusion).
+func (r *Result) HierarchicalFrom(skip int) stats.HierarchicalSample {
+	times := make([][]float64, len(r.Invocations))
+	for i, inv := range r.Invocations {
+		if skip >= len(inv.TimesSec) {
+			times[i] = nil
+			continue
+		}
+		times[i] = inv.TimesSec[skip:]
+	}
+	return stats.HierarchicalSample{Times: times}
+}
+
+// CyclesMatrix returns the noise-free cycle counts per invocation/iteration.
+func (r *Result) CyclesMatrix() [][]uint64 {
+	out := make([][]uint64, len(r.Invocations))
+	for i, inv := range r.Invocations {
+		out[i] = inv.Cycles
+	}
+	return out
+}
+
+// Runner executes experiments. Compiled workloads are cached, so repeated
+// experiments on the same benchmark skip the front end.
+type Runner struct {
+	codeCache map[string]*minipy.Code
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{codeCache: map[string]*minipy.Code{}}
+}
+
+func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, error) {
+	if c, ok := r.codeCache[b.Name]; ok {
+		return c, nil
+	}
+	c, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	r.codeCache[b.Name] = c
+	return c, nil
+}
+
+// Run executes the full experiment for one benchmark.
+func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	code, err := r.compiled(b)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts}
+	for i := 0; i < opts.Invocations; i++ {
+		inv, err := r.runInvocation(b, code, opts, i)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s invocation %d: %w", b.Name, i, err)
+		}
+		res.Invocations = append(res.Invocations, *inv)
+	}
+	return res, nil
+}
+
+// runInvocation simulates one fresh VM process: module import (setup), then
+// opts.Iterations timed calls of run().
+func (r *Runner) runInvocation(b workloads.Benchmark, code *minipy.Code,
+	opts Options, invIdx int) (*Invocation, error) {
+	var probe vm.Probe
+	var model *counters.Model
+	if opts.WithCounters {
+		model = counters.NewModel()
+		probe = model
+	}
+	engine := vm.New(vm.Config{
+		Mode:     opts.Mode,
+		Cost:     opts.Cost,
+		Probe:    probe,
+		MaxSteps: opts.MaxStepsPerInvocation,
+	})
+	if _, err := engine.RunModule(code); err != nil {
+		return nil, fmt.Errorf("module setup: %w", err)
+	}
+	src := noise.NewSource(opts.Noise, opts.Seed, invIdx)
+	inv := &Invocation{
+		TimesSec: make([]float64, 0, opts.Iterations),
+		Cycles:   make([]uint64, 0, opts.Iterations),
+		Steps:    make([]uint64, 0, opts.Iterations),
+	}
+	hz := opts.FreqGHz * 1e9
+	var last minipy.Value
+	for j := 0; j < opts.Iterations; j++ {
+		before := engine.CountersSnapshot()
+		v, err := engine.CallGlobal("run")
+		if err != nil {
+			return nil, fmt.Errorf("run() iteration %d: %w", j, err)
+		}
+		last = v
+		delta := engine.CountersSnapshot().Sub(before)
+		base := float64(delta.Cycles) / hz
+		inv.TimesSec = append(inv.TimesSec, src.Apply(base))
+		inv.Cycles = append(inv.Cycles, delta.Cycles)
+		inv.Steps = append(inv.Steps, delta.Steps)
+	}
+	if last != nil {
+		inv.Checksum = last.Repr()
+	}
+	if b.Checksum != "" && inv.Checksum != b.Checksum {
+		return nil, fmt.Errorf("checksum mismatch: got %s, want %s", inv.Checksum, b.Checksum)
+	}
+	if model != nil {
+		snap := model.Snapshot()
+		inv.Counters = &snap
+		inv.Mix = model.Mix()
+	}
+	inv.JITTraces, inv.JITBridges, inv.GuardFails = engine.JITStats()
+	return inv, nil
+}
+
+// RunPair runs the same benchmark under both engines with the same options
+// and validates that the engines produce identical checksums.
+func (r *Runner) RunPair(b workloads.Benchmark, opts Options) (interp, jit *Result, err error) {
+	oi := opts
+	oi.Mode = vm.ModeInterp
+	interp, err = r.Run(b, oi)
+	if err != nil {
+		return nil, nil, err
+	}
+	oj := opts
+	oj.Mode = vm.ModeJIT
+	jit, err = r.Run(b, oj)
+	if err != nil {
+		return nil, nil, err
+	}
+	ci := interp.Invocations[0].Checksum
+	cj := jit.Invocations[0].Checksum
+	if ci != cj {
+		return nil, nil, fmt.Errorf("harness: engines disagree on %s: interp=%s jit=%s",
+			b.Name, ci, cj)
+	}
+	return interp, jit, nil
+}

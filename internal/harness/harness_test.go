@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func mustBench(t *testing.T, name string) workloads.Benchmark {
+	t.Helper()
+	b, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %s missing", name)
+	}
+	return b
+}
+
+func TestRunShapeAndDeterminism(t *testing.T) {
+	r := NewRunner()
+	b := mustBench(t, "fib")
+	opts := Options{Invocations: 3, Iterations: 5, Seed: 11, Noise: noise.Default()}
+	res, err := r.Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Invocations) != 3 {
+		t.Fatalf("invocations %d", len(res.Invocations))
+	}
+	for _, inv := range res.Invocations {
+		if len(inv.TimesSec) != 5 || len(inv.Cycles) != 5 || len(inv.Steps) != 5 {
+			t.Fatalf("iteration arrays wrong: %d %d %d",
+				len(inv.TimesSec), len(inv.Cycles), len(inv.Steps))
+		}
+		for _, ts := range inv.TimesSec {
+			if ts <= 0 {
+				t.Fatal("non-positive time")
+			}
+		}
+		if inv.Checksum != b.Checksum {
+			t.Fatalf("checksum %s, want %s", inv.Checksum, b.Checksum)
+		}
+	}
+	// Re-running with the same seed reproduces measured times exactly.
+	res2, err := NewRunner().Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Invocations {
+		for j := range res.Invocations[i].TimesSec {
+			if res.Invocations[i].TimesSec[j] != res2.Invocations[i].TimesSec[j] {
+				t.Fatal("runs with the same seed must match exactly")
+			}
+		}
+	}
+}
+
+func TestNoiseFreeTimesMatchCycles(t *testing.T) {
+	r := NewRunner()
+	b := mustBench(t, "collatz")
+	res, err := r.Run(b, Options{
+		Invocations: 1, Iterations: 4, Noise: noise.None(), FreqGHz: 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := res.Invocations[0]
+	for j := range inv.TimesSec {
+		want := float64(inv.Cycles[j]) / 2e9
+		if inv.TimesSec[j] != want {
+			t.Fatalf("iteration %d: time %v, want cycles/freq %v", j, inv.TimesSec[j], want)
+		}
+	}
+}
+
+func TestInterpCyclesAreIterationStable(t *testing.T) {
+	// The interpreter has no warmup: steady iterations must cost identical
+	// cycles.
+	r := NewRunner()
+	res, err := r.Run(mustBench(t, "branchy"), Options{
+		Invocations: 1, Iterations: 5, Noise: noise.None(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Invocations[0].Cycles
+	for j := 1; j < len(c); j++ {
+		if c[j] != c[1] && j > 1 {
+			t.Fatalf("interpreter cycles vary across iterations: %v", c)
+		}
+	}
+}
+
+func TestJITCyclesWarmUp(t *testing.T) {
+	r := NewRunner()
+	res, err := r.Run(mustBench(t, "nbody"), Options{
+		Mode: vm.ModeJIT, Invocations: 2, Iterations: 12, Noise: noise.None(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inv := range res.Invocations {
+		first, last := inv.Cycles[0], inv.Cycles[len(inv.Cycles)-1]
+		if last >= first {
+			t.Fatalf("no warmup visible: first %d last %d", first, last)
+		}
+		if inv.JITTraces == 0 {
+			t.Fatal("expected compiled traces")
+		}
+	}
+}
+
+func TestCountersAttached(t *testing.T) {
+	r := NewRunner()
+	res, err := r.Run(mustBench(t, "fib"), Options{
+		Invocations: 1, Iterations: 2, Noise: noise.None(), WithCounters: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := res.Invocations[0]
+	if inv.Counters == nil {
+		t.Fatal("counters missing")
+	}
+	if inv.Counters.IPC <= 0 || inv.Counters.IPC > 1 {
+		t.Fatalf("IPC %v out of (0, 1]", inv.Counters.IPC)
+	}
+	mixTotal := inv.Mix.LoadStore + inv.Mix.Arith + inv.Mix.Branch +
+		inv.Mix.Call + inv.Mix.Alloc + inv.Mix.Other
+	if mixTotal < 0.999 || mixTotal > 1.001 {
+		t.Fatalf("mix sums to %v", mixTotal)
+	}
+	// Without counters the snapshot must be nil.
+	res2, err := r.Run(mustBench(t, "fib"), Options{Invocations: 1, Iterations: 1, Noise: noise.None()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Invocations[0].Counters != nil {
+		t.Fatal("counters should be nil when disabled")
+	}
+}
+
+func TestHierarchicalViews(t *testing.T) {
+	r := NewRunner()
+	res, err := r.Run(mustBench(t, "fib"), Options{
+		Invocations: 2, Iterations: 6, Seed: 5, Noise: noise.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := res.Hierarchical()
+	if len(hs.Times) != 2 || len(hs.Times[0]) != 6 {
+		t.Fatal("hierarchical shape")
+	}
+	trimmed := res.HierarchicalFrom(2)
+	if len(trimmed.Times[0]) != 4 {
+		t.Fatal("trimmed shape")
+	}
+	over := res.HierarchicalFrom(10)
+	if over.Times[0] != nil {
+		t.Fatal("over-trim should produce empty rows")
+	}
+	if m := res.CyclesMatrix(); len(m) != 2 || len(m[0]) != 6 {
+		t.Fatal("cycles matrix shape")
+	}
+}
+
+func TestRunPairValidatesChecksums(t *testing.T) {
+	r := NewRunner()
+	interp, jit, err := r.RunPair(mustBench(t, "quicksort"), Options{
+		Invocations: 2, Iterations: 4, Seed: 9, Noise: noise.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.Mode != vm.ModeInterp || jit.Mode != vm.ModeJIT {
+		t.Fatal("modes not set")
+	}
+	if interp.Invocations[0].Checksum != jit.Invocations[0].Checksum {
+		t.Fatal("pair checksums differ")
+	}
+}
+
+func TestChecksumMismatchDetected(t *testing.T) {
+	r := NewRunner()
+	bad := workloads.Benchmark{
+		Name:     "bad",
+		Source:   "def run():\n    return 1",
+		Checksum: "2",
+	}
+	if _, err := r.Run(bad, Options{Invocations: 1, Iterations: 1}); err == nil {
+		t.Fatal("checksum mismatch must error")
+	}
+}
+
+func TestModuleSetupErrorSurfaces(t *testing.T) {
+	r := NewRunner()
+	bad := workloads.Benchmark{Name: "boom", Source: "x = 1 / 0"}
+	if _, err := r.Run(bad, Options{Invocations: 1, Iterations: 1}); err == nil {
+		t.Fatal("setup error must surface")
+	}
+	noRun := workloads.Benchmark{Name: "norun", Source: "x = 1"}
+	if _, err := r.Run(noRun, Options{Invocations: 1, Iterations: 1}); err == nil {
+		t.Fatal("missing run() must error")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Invocations != 10 || o.Iterations != 30 || o.FreqGHz != 3.0 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestVarianceStructureMatchesNoiseModel(t *testing.T) {
+	// End-to-end: the harness + noise should produce data whose decomposed
+	// between-invocation std is near the configured invocation sigma.
+	r := NewRunner()
+	res, err := r.Run(mustBench(t, "collatz"), Options{
+		Invocations: 40, Iterations: 10, Seed: 3,
+		Noise: noise.Params{InvocationSigma: 0.05, IterationSigma: 0.002},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := stats.DecomposeVariance(res.Hierarchical())
+	relBetween := 0.0
+	if vd.GrandMean > 0 {
+		relBetween = sqrtf(vd.BetweenVar) / vd.GrandMean
+	}
+	if relBetween < 0.03 || relBetween > 0.08 {
+		t.Fatalf("between-invocation rel std %v, want ~0.05", relBetween)
+	}
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method is fine for a test helper.
+	g := x
+	for i := 0; i < 40; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRunner()
+	res, err := r.Run(mustBench(t, "fib"), Options{
+		Mode: vm.ModeJIT, Invocations: 2, Iterations: 3, Seed: 4,
+		Noise: noise.Default(), WithCounters: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Mode": "jit"`) {
+		t.Fatalf("mode not serialized by name:\n%s", buf.String()[:200])
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmark != res.Benchmark || back.Mode != res.Mode {
+		t.Fatal("metadata lost in round trip")
+	}
+	if len(back.Invocations) != len(res.Invocations) {
+		t.Fatal("invocations lost")
+	}
+	for i := range back.Invocations {
+		a, b := back.Invocations[i], res.Invocations[i]
+		if len(a.TimesSec) != len(b.TimesSec) || a.TimesSec[0] != b.TimesSec[0] {
+			t.Fatal("times lost")
+		}
+		if a.Checksum != b.Checksum {
+			t.Fatal("checksum lost")
+		}
+		if (a.Counters == nil) != (b.Counters == nil) {
+			t.Fatal("counters lost")
+		}
+	}
+	if _, err := ReadResultJSON(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken JSON must error")
+	}
+}

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the full experiment result (configuration, every
+// invocation's times, cycles, counters, and JIT statistics) as indented
+// JSON — the raw-data export used for offline analysis and archival, in the
+// spirit of pyperf's JSON result files.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadResultJSON loads a result previously written by WriteJSON.
+func ReadResultJSON(rd io.Reader) (*Result, error) {
+	var out Result
+	if err := json.NewDecoder(rd).Decode(&out); err != nil {
+		return nil, fmt.Errorf("harness: decoding result JSON: %w", err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,94 @@
+package methodology
+
+import "repro/internal/stats"
+
+// BenchClass is the per-benchmark steady-state classification across
+// invocations, extending the per-invocation taxonomy with "inconsistent"
+// (different invocations behave differently — one of the headline findings
+// of VM-warmup studies).
+type BenchClass int
+
+// Cross-invocation classes.
+const (
+	BenchFlat BenchClass = iota
+	BenchWarmup
+	BenchSlowdown
+	BenchNoSteadyState
+	BenchInconsistent
+)
+
+func (c BenchClass) String() string {
+	switch c {
+	case BenchFlat:
+		return "flat"
+	case BenchWarmup:
+		return "warmup"
+	case BenchSlowdown:
+		return "slowdown"
+	case BenchNoSteadyState:
+		return "no steady state"
+	case BenchInconsistent:
+		return "inconsistent"
+	}
+	return "unknown"
+}
+
+// SteadyStateReport summarizes steady-state behaviour of one experiment.
+type SteadyStateReport struct {
+	Class BenchClass
+	// PerInvocation holds each invocation's classification.
+	PerInvocation []stats.SteadyStateResult
+	// MeanSteadyStart is the average first steady iteration (over
+	// invocations that reached steady state).
+	MeanSteadyStart float64
+	// ReachedSteadyFrac is the fraction of invocations with a steady
+	// segment.
+	ReachedSteadyFrac float64
+}
+
+// ClassifyExperiment applies per-invocation steady-state detection and
+// aggregates: if all invocations agree on a class the benchmark gets it;
+// otherwise it is inconsistent. An invocation counts as "reached steady
+// state" unless classified no-steady-state.
+func ClassifyExperiment(h stats.HierarchicalSample) SteadyStateReport {
+	rep := SteadyStateReport{}
+	counts := map[stats.SteadyStateClass]int{}
+	steadyStartSum, steadyCount := 0.0, 0
+	for _, inv := range h.Times {
+		res := stats.ClassifySteadyState(inv, 0, 0, 0)
+		rep.PerInvocation = append(rep.PerInvocation, res)
+		counts[res.Class]++
+		if res.Class != stats.ClassNoSteadyState {
+			steadyStartSum += float64(res.SteadyStart)
+			steadyCount++
+		}
+	}
+	n := len(h.Times)
+	if n == 0 {
+		return rep
+	}
+	rep.ReachedSteadyFrac = float64(steadyCount) / float64(n)
+	if steadyCount > 0 {
+		rep.MeanSteadyStart = steadyStartSum / float64(steadyCount)
+	}
+	// Aggregate: unanimous class, else inconsistent. Flat and warmup mixed
+	// with each other still count as inconsistent only when a *conflicting*
+	// class appears; flat+warmup mixtures are reported as warmup if any
+	// invocation warmed up (common and benign), matching how warmup studies
+	// bucket them.
+	switch {
+	case counts[stats.ClassNoSteadyState] > 0 && counts[stats.ClassNoSteadyState] < n:
+		rep.Class = BenchInconsistent
+	case counts[stats.ClassNoSteadyState] == n:
+		rep.Class = BenchNoSteadyState
+	case counts[stats.ClassSlowdown] > 0 && (counts[stats.ClassWarmup] > 0):
+		rep.Class = BenchInconsistent
+	case counts[stats.ClassSlowdown] > 0:
+		rep.Class = BenchSlowdown
+	case counts[stats.ClassWarmup] > 0:
+		rep.Class = BenchWarmup
+	default:
+		rep.Class = BenchFlat
+	}
+	return rep
+}

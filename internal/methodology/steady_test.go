@@ -1,0 +1,144 @@
+package methodology
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func seriesWith(rng *stats.RNG, head, tail int, headLevel float64) []float64 {
+	out := make([]float64, 0, head+tail)
+	for i := 0; i < head; i++ {
+		out = append(out, headLevel*(1+0.01*rng.NormFloat64()))
+	}
+	for i := 0; i < tail; i++ {
+		out = append(out, 1+0.01*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestClassifyExperimentUnanimousWarmup(t *testing.T) {
+	rng := stats.NewRNG(51)
+	times := make([][]float64, 5)
+	for i := range times {
+		times[i] = seriesWith(rng, 15, 60, 2.5)
+	}
+	rep := ClassifyExperiment(stats.HierarchicalSample{Times: times})
+	if rep.Class != BenchWarmup {
+		t.Fatalf("class %v, want warmup", rep.Class)
+	}
+	if rep.ReachedSteadyFrac != 1 {
+		t.Fatalf("reached frac %v", rep.ReachedSteadyFrac)
+	}
+	if rep.MeanSteadyStart < 10 || rep.MeanSteadyStart > 20 {
+		t.Fatalf("mean steady start %v, want ~15", rep.MeanSteadyStart)
+	}
+	if len(rep.PerInvocation) != 5 {
+		t.Fatal("per-invocation results missing")
+	}
+}
+
+func TestClassifyExperimentAllFlat(t *testing.T) {
+	rng := stats.NewRNG(52)
+	times := make([][]float64, 4)
+	for i := range times {
+		times[i] = seriesWith(rng, 0, 80, 1)
+	}
+	rep := ClassifyExperiment(stats.HierarchicalSample{Times: times})
+	if rep.Class != BenchFlat {
+		t.Fatalf("class %v, want flat", rep.Class)
+	}
+}
+
+func TestClassifyExperimentMixedFlatWarmupIsWarmup(t *testing.T) {
+	rng := stats.NewRNG(53)
+	times := [][]float64{
+		seriesWith(rng, 0, 80, 1),    // flat
+		seriesWith(rng, 15, 65, 2.5), // warmup
+		seriesWith(rng, 0, 80, 1),    // flat
+	}
+	rep := ClassifyExperiment(stats.HierarchicalSample{Times: times})
+	if rep.Class != BenchWarmup {
+		t.Fatalf("class %v, want warmup for a flat/warmup mix", rep.Class)
+	}
+}
+
+func TestClassifyExperimentInconsistent(t *testing.T) {
+	rng := stats.NewRNG(54)
+	warm := seriesWith(rng, 15, 65, 2.5)
+	// A slowdown invocation: slow tail.
+	slow := make([]float64, 80)
+	for i := range slow {
+		level := 1.0
+		if i >= 30 {
+			level = 1.8
+		}
+		slow[i] = level * (1 + 0.01*rng.NormFloat64())
+	}
+	rep := ClassifyExperiment(stats.HierarchicalSample{Times: [][]float64{warm, slow}})
+	if rep.Class != BenchInconsistent {
+		t.Fatalf("class %v, want inconsistent for warmup+slowdown", rep.Class)
+	}
+}
+
+func TestClassifyExperimentNoSteadyState(t *testing.T) {
+	rng := stats.NewRNG(55)
+	mk := func() []float64 {
+		// Shift arriving in the last 10%.
+		out := make([]float64, 100)
+		for i := range out {
+			level := 1.0
+			if i >= 92 {
+				level = 3.0
+			}
+			out[i] = level * (1 + 0.005*rng.NormFloat64())
+		}
+		return out
+	}
+	rep := ClassifyExperiment(stats.HierarchicalSample{Times: [][]float64{mk(), mk()}})
+	if rep.Class != BenchNoSteadyState {
+		t.Fatalf("class %v, want no steady state", rep.Class)
+	}
+	if rep.ReachedSteadyFrac != 0 {
+		t.Fatalf("reached frac %v, want 0", rep.ReachedSteadyFrac)
+	}
+}
+
+func TestClassifyExperimentPartialNoSteadyIsInconsistent(t *testing.T) {
+	rng := stats.NewRNG(56)
+	good := seriesWith(rng, 0, 100, 1)
+	bad := make([]float64, 100)
+	for i := range bad {
+		level := 1.0
+		if i >= 92 {
+			level = 3.0
+		}
+		bad[i] = level * (1 + 0.005*rng.NormFloat64())
+	}
+	rep := ClassifyExperiment(stats.HierarchicalSample{Times: [][]float64{good, bad}})
+	if rep.Class != BenchInconsistent {
+		t.Fatalf("class %v, want inconsistent", rep.Class)
+	}
+}
+
+func TestClassifyExperimentEmpty(t *testing.T) {
+	rep := ClassifyExperiment(stats.HierarchicalSample{})
+	if rep.ReachedSteadyFrac != 0 || len(rep.PerInvocation) != 0 {
+		t.Fatal("empty experiment should produce zero report")
+	}
+}
+
+func TestBenchClassStrings(t *testing.T) {
+	want := map[BenchClass]string{
+		BenchFlat:          "flat",
+		BenchWarmup:        "warmup",
+		BenchSlowdown:      "slowdown",
+		BenchNoSteadyState: "no steady state",
+		BenchInconsistent:  "inconsistent",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package minipy
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	Pos() (line, col int)
+}
+
+type position struct {
+	Line int
+	Col  int
+}
+
+func (p position) Pos() (int, int) { return p.Line, p.Col }
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NameExpr is an identifier reference.
+type NameExpr struct {
+	position
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	position
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	position
+	Value float64
+}
+
+// StrLit is a string literal (already unescaped).
+type StrLit struct {
+	position
+	Value string
+}
+
+// BoolLit is True or False.
+type BoolLit struct {
+	position
+	Value bool
+}
+
+// NoneLit is the None literal.
+type NoneLit struct {
+	position
+}
+
+// BinOp is a binary arithmetic or comparison operation.
+type BinOp struct {
+	position
+	Op    Kind // Plus, Minus, Star, Slash, SlashSlash, Percent, StarStar, Eq..Ge, KwIn
+	Left  Expr
+	Right Expr
+}
+
+// BoolOp is a short-circuiting `and`/`or`.
+type BoolOp struct {
+	position
+	Op    Kind // KwAnd or KwOr
+	Left  Expr
+	Right Expr
+}
+
+// UnaryOp is unary minus, plus, or `not`.
+type UnaryOp struct {
+	position
+	Op      Kind // Minus, Plus, KwNot
+	Operand Expr
+}
+
+// CallExpr is a function or method call.
+type CallExpr struct {
+	position
+	Fn   Expr
+	Args []Expr
+}
+
+// IndexExpr is a subscript x[i].
+type IndexExpr struct {
+	position
+	Target Expr
+	Index  Expr
+}
+
+// SliceExpr is x[lo:hi]; Lo/Hi may be nil for open ends.
+type SliceExpr struct {
+	position
+	Target Expr
+	Lo, Hi Expr
+}
+
+// AttrExpr is attribute access x.name.
+type AttrExpr struct {
+	position
+	Target Expr
+	Name   string
+}
+
+// ListLit is a list display [a, b, ...].
+type ListLit struct {
+	position
+	Elems []Expr
+}
+
+// TupleLit is a tuple display (a, b) or bare a, b.
+type TupleLit struct {
+	position
+	Elems []Expr
+}
+
+// DictLit is a dict display {k: v, ...}.
+type DictLit struct {
+	position
+	Keys   []Expr
+	Values []Expr
+}
+
+// CondExpr is the ternary `a if cond else b`.
+type CondExpr struct {
+	position
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+func (*NameExpr) exprNode()  {}
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*StrLit) exprNode()    {}
+func (*BoolLit) exprNode()   {}
+func (*NoneLit) exprNode()   {}
+func (*BinOp) exprNode()     {}
+func (*BoolOp) exprNode()    {}
+func (*UnaryOp) exprNode()   {}
+func (*CallExpr) exprNode()  {}
+func (*IndexExpr) exprNode() {}
+func (*SliceExpr) exprNode() {}
+func (*AttrExpr) exprNode()  {}
+func (*ListLit) exprNode()   {}
+func (*TupleLit) exprNode()  {}
+func (*DictLit) exprNode()   {}
+func (*CondExpr) exprNode()  {}
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	position
+	X Expr
+}
+
+// AssignStmt is `target = value`; Target is a Name, Index, or Attr expr,
+// or a TupleLit of names for unpacking `a, b = expr`.
+type AssignStmt struct {
+	position
+	Target Expr
+	Value  Expr
+}
+
+// AugAssignStmt is `target op= value`.
+type AugAssignStmt struct {
+	position
+	Op     Kind // Plus, Minus, Star, Slash, SlashSlash, Percent
+	Target Expr
+	Value  Expr
+}
+
+// IfStmt is if/elif/else. Elifs chain via nested IfStmt in Else.
+type IfStmt struct {
+	position
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil if absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	position
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is `for var in iterable:`. Var is a name or a tuple of names.
+type ForStmt struct {
+	position
+	Var      Expr
+	Iterable Expr
+	Body     []Stmt
+}
+
+// ReturnStmt returns from a function; Value may be nil for bare `return`.
+type ReturnStmt struct {
+	position
+	Value Expr
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ position }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ position }
+
+// PassStmt does nothing.
+type PassStmt struct{ position }
+
+// GlobalStmt declares names as module-global inside a function.
+type GlobalStmt struct {
+	position
+	Names []string
+}
+
+// NonlocalStmt declares names as belonging to an enclosing function scope.
+type NonlocalStmt struct {
+	position
+	Names []string
+}
+
+// DelStmt deletes a subscript (del d[k]).
+type DelStmt struct {
+	position
+	Target Expr
+}
+
+// FuncDef defines a function.
+type FuncDef struct {
+	position
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// ClassDef defines a class with optional single base.
+type ClassDef struct {
+	position
+	Name string
+	Base string // "" if no base
+	Body []Stmt // only FuncDef and simple assignments are meaningful
+}
+
+func (*ExprStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()    {}
+func (*AugAssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()       {}
+func (*ReturnStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()     {}
+func (*ContinueStmt) stmtNode()  {}
+func (*PassStmt) stmtNode()      {}
+func (*GlobalStmt) stmtNode()    {}
+func (*NonlocalStmt) stmtNode()  {}
+func (*DelStmt) stmtNode()       {}
+func (*FuncDef) stmtNode()       {}
+func (*ClassDef) stmtNode()      {}
+
+// Module is a parsed MiniPy source file.
+type Module struct {
+	Body []Stmt
+}

@@ -1,0 +1,416 @@
+package minipy
+
+import (
+	"strings"
+)
+
+// Lexer turns MiniPy source text into a token stream with INDENT/DEDENT
+// tokens synthesized from leading whitespace, mirroring Python's tokenizer.
+type Lexer struct {
+	src     string
+	pos     int
+	line    int
+	col     int
+	indents []int   // indentation stack; always starts with 0
+	pending []Token // queued INDENT/DEDENT/NEWLINE tokens
+	parens  int     // nesting depth of (), [], {} — newlines are ignored inside
+	atBOL   bool    // at beginning of a logical line
+	err     *SyntaxError
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	// Normalize line endings so column accounting stays simple.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	return &Lexer{src: src, line: 1, col: 1, indents: []int{0}, atBOL: true}
+}
+
+// Tokenize lexes the whole input. It returns the tokens ending with EOF, or
+// the first error encountered.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) errorf(msg string) (Token, error) {
+	e := &SyntaxError{Line: lx.line, Col: lx.col, Msg: msg}
+	lx.err = e
+	return Token{Kind: EOF, Line: lx.line, Col: lx.col}, e
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if lx.err != nil {
+		return Token{Kind: EOF, Line: lx.line, Col: lx.col}, lx.err
+	}
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t, nil
+	}
+	if lx.atBOL && lx.parens == 0 {
+		if tok, emitted, err := lx.handleIndentation(); err != nil {
+			return tok, err
+		} else if emitted {
+			return tok, nil
+		}
+	}
+	lx.skipSpacesAndComments()
+	if lx.pos >= len(lx.src) {
+		return lx.finishEOF()
+	}
+	c := lx.peekByte()
+	startLine, startCol := lx.line, lx.col
+
+	switch {
+	case c == '\n':
+		lx.advance()
+		if lx.parens > 0 {
+			return lx.Next() // newlines inside brackets are insignificant
+		}
+		lx.atBOL = true
+		return Token{Kind: Newline, Line: startLine, Col: startCol}, nil
+	case c == '\\' && lx.peekByteAt(1) == '\n':
+		// Explicit line continuation.
+		lx.advance()
+		lx.advance()
+		return lx.Next()
+	case isDigit(c) || (c == '.' && isDigit(lx.peekByteAt(1))):
+		return lx.lexNumber(startLine, startCol)
+	case isIdentStart(c):
+		return lx.lexIdent(startLine, startCol)
+	case c == '"' || c == '\'':
+		return lx.lexString(startLine, startCol)
+	}
+	return lx.lexOperator(startLine, startCol)
+}
+
+// handleIndentation measures the indentation of the current physical line and
+// emits INDENT/DEDENT tokens. Blank and comment-only lines are skipped.
+// emitted reports whether a token was produced; if not, the caller continues
+// lexing the line body.
+func (lx *Lexer) handleIndentation() (Token, bool, error) {
+	for {
+		// Measure leading spaces. Tabs count as 8-column stops like CPython's
+		// conservative default; MiniPy sources use spaces.
+		col := 0
+		p := lx.pos
+		for p < len(lx.src) {
+			switch lx.src[p] {
+			case ' ':
+				col++
+			case '\t':
+				col += 8 - col%8
+			default:
+				goto measured
+			}
+			p++
+		}
+	measured:
+		// Input exhausted: leave atBOL set so finishEOF does not synthesize
+		// another NEWLINE.
+		if p >= len(lx.src) {
+			lx.consumeTo(p)
+			return Token{}, false, nil
+		}
+		if lx.src[p] == '\n' {
+			lx.consumeTo(p + 1)
+			continue
+		}
+		if lx.src[p] == '#' {
+			for p < len(lx.src) && lx.src[p] != '\n' {
+				p++
+			}
+			if p < len(lx.src) {
+				p++ // consume the newline too
+			}
+			lx.consumeTo(p)
+			continue
+		}
+		lx.consumeTo(p)
+		lx.atBOL = false
+		top := lx.indents[len(lx.indents)-1]
+		switch {
+		case col > top:
+			lx.indents = append(lx.indents, col)
+			return Token{Kind: Indent, Line: lx.line, Col: 1}, true, nil
+		case col < top:
+			var toks []Token
+			for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > col {
+				lx.indents = lx.indents[:len(lx.indents)-1]
+				toks = append(toks, Token{Kind: Dedent, Line: lx.line, Col: 1})
+			}
+			if lx.indents[len(lx.indents)-1] != col {
+				_, err := lx.errorf("unindent does not match any outer indentation level")
+				return Token{}, true, err
+			}
+			lx.pending = append(lx.pending, toks[1:]...)
+			return toks[0], true, nil
+		}
+		return Token{}, false, nil
+	}
+}
+
+// consumeTo advances the cursor to absolute offset p, maintaining line/col.
+func (lx *Lexer) consumeTo(p int) {
+	for lx.pos < p {
+		lx.advance()
+	}
+}
+
+func (lx *Lexer) skipSpacesAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if c == ' ' || c == '\t' {
+			lx.advance()
+			continue
+		}
+		if c == '#' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (lx *Lexer) finishEOF() (Token, error) {
+	// Emit a trailing NEWLINE if the file did not end at beginning of line,
+	// then drain the indentation stack with DEDENTs, then EOF.
+	if !lx.atBOL {
+		lx.atBOL = true
+		return Token{Kind: Newline, Line: lx.line, Col: lx.col}, nil
+	}
+	if len(lx.indents) > 1 {
+		lx.indents = lx.indents[:len(lx.indents)-1]
+		return Token{Kind: Dedent, Line: lx.line, Col: lx.col}, nil
+	}
+	return Token{Kind: EOF, Line: lx.line, Col: lx.col}, nil
+}
+
+func (lx *Lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	isFloat := false
+	for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+		lx.advance()
+	}
+	if lx.peekByte() == '.' && isDigit(lx.peekByteAt(1)) {
+		isFloat = true
+		lx.advance()
+		for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	} else if lx.peekByte() == '.' && !isIdentStart(lx.peekByteAt(1)) && lx.peekByteAt(1) != '.' {
+		// "1." style float literal (but not "1.method" or slices like "1..").
+		isFloat = true
+		lx.advance()
+	}
+	if c := lx.peekByte(); c == 'e' || c == 'E' {
+		// Exponent part makes it a float: 1e9, 2.5e-3.
+		save := lx.pos
+		lx.advance()
+		if c := lx.peekByte(); c == '+' || c == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peekByte()) {
+			isFloat = true
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+		} else {
+			// Not an exponent after all (e.g. "2each" would be an error later).
+			lx.pos = save
+		}
+	}
+	text := lx.src[start:lx.pos]
+	k := IntTok
+	if isFloat {
+		k = FloatTok
+	}
+	return Token{Kind: k, Text: text, Line: line, Col: col}, nil
+}
+
+func (lx *Lexer) lexIdent(line, col int) (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.pos]
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Text: text, Line: line, Col: col}, nil
+	}
+	return Token{Kind: Ident, Text: text, Line: line, Col: col}, nil
+}
+
+func (lx *Lexer) lexString(line, col int) (Token, error) {
+	quote := lx.advance()
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return lx.errorf("unterminated string literal")
+		}
+		c := lx.advance()
+		switch c {
+		case quote:
+			return Token{Kind: StrTok, Text: sb.String(), Line: line, Col: col}, nil
+		case '\n':
+			return lx.errorf("newline in string literal")
+		case '\\':
+			if lx.pos >= len(lx.src) {
+				return lx.errorf("unterminated string escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				return lx.errorf("unknown string escape \\" + string(e))
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func (lx *Lexer) lexOperator(line, col int) (Token, error) {
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	three := ""
+	if lx.pos+2 < len(lx.src) {
+		three = lx.src[lx.pos : lx.pos+3]
+	}
+	emit := func(k Kind, n int) (Token, error) {
+		for i := 0; i < n; i++ {
+			lx.advance()
+		}
+		switch k {
+		case Lparen, Lbracket, Lbrace:
+			lx.parens++
+		case Rparen, Rbracket, Rbrace:
+			if lx.parens > 0 {
+				lx.parens--
+			}
+		}
+		return Token{Kind: k, Line: line, Col: col}, nil
+	}
+	switch three {
+	case "//=":
+		return emit(SlashSlashAssign, 3)
+	}
+	switch two {
+	case "**":
+		return emit(StarStar, 2)
+	case "//":
+		return emit(SlashSlash, 2)
+	case "==":
+		return emit(Eq, 2)
+	case "!=":
+		return emit(Ne, 2)
+	case "<=":
+		return emit(Le, 2)
+	case ">=":
+		return emit(Ge, 2)
+	case "+=":
+		return emit(PlusAssign, 2)
+	case "-=":
+		return emit(MinusAssign, 2)
+	case "*=":
+		return emit(StarAssign, 2)
+	case "/=":
+		return emit(SlashAssign, 2)
+	case "%=":
+		return emit(PercentAssign, 2)
+	}
+	switch lx.peekByte() {
+	case '+':
+		return emit(Plus, 1)
+	case '-':
+		return emit(Minus, 1)
+	case '*':
+		return emit(Star, 1)
+	case '/':
+		return emit(Slash, 1)
+	case '%':
+		return emit(Percent, 1)
+	case '(':
+		return emit(Lparen, 1)
+	case ')':
+		return emit(Rparen, 1)
+	case '[':
+		return emit(Lbracket, 1)
+	case ']':
+		return emit(Rbracket, 1)
+	case '{':
+		return emit(Lbrace, 1)
+	case '}':
+		return emit(Rbrace, 1)
+	case ',':
+		return emit(Comma, 1)
+	case ':':
+		return emit(Colon, 1)
+	case '.':
+		return emit(Dot, 1)
+	case '=':
+		return emit(Assign, 1)
+	case '<':
+		return emit(Lt, 1)
+	case '>':
+		return emit(Gt, 1)
+	}
+	return lx.errorf("unexpected character " + string(lx.peekByte()))
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

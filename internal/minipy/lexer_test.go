@@ -1,0 +1,236 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func assertKinds(t *testing.T, src string, want ...Kind) {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize(%q):\n got %v\nwant %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize(%q): token %d = %v, want %v\nfull: %v", src, i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestLexSimpleExpression(t *testing.T) {
+	assertKinds(t, "x = 1 + 2",
+		Ident, Assign, IntTok, Plus, IntTok, Newline, EOF)
+}
+
+func TestLexIndentation(t *testing.T) {
+	src := "if x:\n    y = 1\nz = 2\n"
+	assertKinds(t, src,
+		KwIf, Ident, Colon, Newline,
+		Indent, Ident, Assign, IntTok, Newline, Dedent,
+		Ident, Assign, IntTok, Newline, EOF)
+}
+
+func TestLexNestedIndentation(t *testing.T) {
+	src := "if a:\n  if b:\n    x = 1\ny = 2\n"
+	assertKinds(t, src,
+		KwIf, Ident, Colon, Newline,
+		Indent, KwIf, Ident, Colon, Newline,
+		Indent, Ident, Assign, IntTok, Newline,
+		Dedent, Dedent,
+		Ident, Assign, IntTok, Newline, EOF)
+}
+
+func TestLexBlankAndCommentLinesIgnored(t *testing.T) {
+	src := "x = 1\n\n# comment\n   # indented comment\ny = 2\n"
+	assertKinds(t, src,
+		Ident, Assign, IntTok, Newline,
+		Ident, Assign, IntTok, Newline, EOF)
+}
+
+func TestLexTrailingCommentOnLine(t *testing.T) {
+	assertKinds(t, "x = 1  # trailing\n",
+		Ident, Assign, IntTok, Newline, EOF)
+}
+
+func TestLexNoTrailingNewline(t *testing.T) {
+	assertKinds(t, "x = 1", Ident, Assign, IntTok, Newline, EOF)
+}
+
+func TestLexDedentAtEOF(t *testing.T) {
+	assertKinds(t, "if x:\n    y = 1",
+		KwIf, Ident, Colon, Newline,
+		Indent, Ident, Assign, IntTok, Newline, Dedent, EOF)
+}
+
+func TestLexBracketsSuppressNewlines(t *testing.T) {
+	src := "x = [1,\n     2,\n     3]\n"
+	assertKinds(t, src,
+		Ident, Assign, Lbracket, IntTok, Comma, IntTok, Comma, IntTok, Rbracket,
+		Newline, EOF)
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]struct {
+		kind Kind
+		text string
+	}{
+		"42":     {IntTok, "42"},
+		"3.14":   {FloatTok, "3.14"},
+		"1e9":    {FloatTok, "1e9"},
+		"2.5e-3": {FloatTok, "2.5e-3"},
+		"1E+4":   {FloatTok, "1E+4"},
+		"0":      {IntTok, "0"},
+	}
+	for src, want := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", src, err)
+		}
+		if toks[0].Kind != want.kind || toks[0].Text != want.text {
+			t.Errorf("Tokenize(%q) = %v(%q), want %v(%q)",
+				src, toks[0].Kind, toks[0].Text, want.kind, want.text)
+		}
+	}
+}
+
+func TestLexFloatVsMethodCall(t *testing.T) {
+	// "1.5" is a float, but "x.y" must stay Ident Dot Ident.
+	assertKinds(t, "x.y", Ident, Dot, Ident, Newline, EOF)
+	assertKinds(t, "1.5", FloatTok, Newline, EOF)
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := map[string]string{
+		`'hello'`:     "hello",
+		`"world"`:     "world",
+		`'a\nb'`:      "a\nb",
+		`'tab\there'`: "tab\there",
+		`'quote\''`:   "quote'",
+		`"dq\""`:      `dq"`,
+		`'back\\'`:    `back\`,
+	}
+	for src, want := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", src, err)
+		}
+		if toks[0].Kind != StrTok || toks[0].Text != want {
+			t.Errorf("Tokenize(%q) = %q, want %q", src, toks[0].Text, want)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	assertKinds(t, "a ** b // c <= d != e",
+		Ident, StarStar, Ident, SlashSlash, Ident, Le, Ident, Ne, Ident, Newline, EOF)
+	assertKinds(t, "a //= 2", Ident, SlashSlashAssign, IntTok, Newline, EOF)
+	assertKinds(t, "a += 1", Ident, PlusAssign, IntTok, Newline, EOF)
+}
+
+func TestLexKeywords(t *testing.T) {
+	assertKinds(t, "def while for in not and or True False None class",
+		KwDef, KwWhile, KwFor, KwIn, KwNot, KwAnd, KwOr, KwTrue, KwFalse,
+		KwNone, KwClass, Newline, EOF)
+	// Keyword prefixes must remain identifiers.
+	assertKinds(t, "define organism", Ident, Ident, Newline, EOF)
+}
+
+func TestLexLineContinuation(t *testing.T) {
+	assertKinds(t, "x = 1 + \\\n    2\n",
+		Ident, Assign, IntTok, Plus, IntTok, Newline, EOF)
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"'unterminated",
+		"'newline\nin string'",
+		"x = 1 ?",
+		"'bad escape \\q'",
+		"if x:\n    y = 1\n  z = 2\n", // inconsistent dedent
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error, got none", src)
+		} else if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("Tokenize(%q): error type %T, want *SyntaxError", src, err)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Tokenize("x = 1\ny = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+	// Find the second identifier.
+	var yTok *Token
+	for i := range toks {
+		if toks[i].Kind == Ident && toks[i].Text == "y" {
+			yTok = &toks[i]
+		}
+	}
+	if yTok == nil || yTok.Line != 2 || yTok.Col != 1 {
+		t.Errorf("y token position wrong: %+v", yTok)
+	}
+}
+
+func TestLexCRLFNormalized(t *testing.T) {
+	assertKinds(t, "x = 1\r\ny = 2\r\n",
+		Ident, Assign, IntTok, Newline, Ident, Assign, IntTok, Newline, EOF)
+}
+
+func TestLexTabsAsIndent(t *testing.T) {
+	src := "if x:\n\ty = 1\n"
+	assertKinds(t, src,
+		KwIf, Ident, Colon, Newline,
+		Indent, Ident, Assign, IntTok, Newline, Dedent, EOF)
+}
+
+func TestLexDeepDedentChain(t *testing.T) {
+	src := "if a:\n if b:\n  if c:\n   x = 1\ny = 2\n"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedents := 0
+	for _, tok := range toks {
+		if tok.Kind == Dedent {
+			dedents++
+		}
+	}
+	if dedents != 3 {
+		t.Fatalf("got %d DEDENTs, want 3: %v", dedents, kinds(toks))
+	}
+}
+
+func TestTokenStringer(t *testing.T) {
+	toks, err := Tokenize("x = 'hi' 3.5 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, tok := range toks {
+		joined += tok.String() + " "
+	}
+	for _, want := range []string{"IDENT(x)", "STR(\"hi\")", "FLOAT(3.5)", "INT(42)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("token strings %q missing %q", joined, want)
+		}
+	}
+}

@@ -1,0 +1,551 @@
+package minipy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a MiniPy runtime value. Engines type-switch on the concrete types
+// for speed; the interface carries only what generic code needs.
+type Value interface {
+	// TypeName is the Python-style type name ("int", "list", ...).
+	TypeName() string
+	// Truth reports Python truthiness.
+	Truth() bool
+	// Repr returns the Python repr()-style rendering.
+	Repr() string
+}
+
+// ---- Scalars ----
+
+// Int is a MiniPy integer (fixed 64-bit; MiniPy has no bignums).
+type Int int64
+
+func (Int) TypeName() string { return "int" }
+func (v Int) Truth() bool    { return v != 0 }
+func (v Int) Repr() string   { return strconv.FormatInt(int64(v), 10) }
+
+// Float is a MiniPy float.
+type Float float64
+
+func (Float) TypeName() string { return "float" }
+func (v Float) Truth() bool    { return v != 0 }
+func (v Float) Repr() string {
+	s := strconv.FormatFloat(float64(v), 'g', -1, 64)
+	// Match Python's repr for integral floats: 2.0 not 2.
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+// Bool is a MiniPy boolean.
+type Bool bool
+
+func (Bool) TypeName() string { return "bool" }
+func (v Bool) Truth() bool    { return bool(v) }
+func (v Bool) Repr() string {
+	if v {
+		return "True"
+	}
+	return "False"
+}
+
+// Str is a MiniPy string.
+type Str string
+
+func (Str) TypeName() string { return "str" }
+func (v Str) Truth() bool    { return len(v) > 0 }
+func (v Str) Repr() string   { return "'" + strings.ReplaceAll(string(v), "'", "\\'") + "'" }
+
+// NoneType is the type of None.
+type NoneType struct{}
+
+// None is the singleton MiniPy None value.
+var None = NoneType{}
+
+func (NoneType) TypeName() string { return "NoneType" }
+func (NoneType) Truth() bool      { return false }
+func (NoneType) Repr() string     { return "None" }
+
+// ---- Containers ----
+
+// List is a mutable MiniPy list. Addr is the synthetic heap address used by
+// the simulated cache model.
+type List struct {
+	Items []Value
+	Addr  uint64
+}
+
+func (*List) TypeName() string { return "list" }
+func (l *List) Truth() bool    { return len(l.Items) > 0 }
+func (l *List) Repr() string   { return reprSeq("[", l.Items, "]", false) }
+
+// Tuple is an immutable MiniPy tuple.
+type Tuple struct {
+	Items []Value
+	Addr  uint64
+}
+
+func (*Tuple) TypeName() string { return "tuple" }
+func (t *Tuple) Truth() bool    { return len(t.Items) > 0 }
+func (t *Tuple) Repr() string   { return reprSeq("(", t.Items, ")", true) }
+
+func reprSeq(open string, items []Value, close string, trailingSingle bool) string {
+	var sb strings.Builder
+	sb.WriteString(open)
+	for i, it := range items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Repr())
+	}
+	if trailingSingle && len(items) == 1 {
+		sb.WriteString(",")
+	}
+	sb.WriteString(close)
+	return sb.String()
+}
+
+// Key is a hashable dict key. Exactly one of the payload fields is used,
+// selected by KindTag.
+type Key struct {
+	KindTag byte // 'i' int/bool, 'f' float, 's' str, 't' tuple (flattened repr)
+	I       int64
+	F       float64
+	S       string
+}
+
+// MakeKey converts a value to a dict key, or reports that it is unhashable.
+func MakeKey(v Value) (Key, error) {
+	switch v := v.(type) {
+	case Int:
+		return Key{KindTag: 'i', I: int64(v)}, nil
+	case Bool:
+		if v {
+			return Key{KindTag: 'i', I: 1}, nil
+		}
+		return Key{KindTag: 'i', I: 0}, nil
+	case Float:
+		// Python hashes equal numbers identically; integral floats must
+		// collide with their int counterparts.
+		f := float64(v)
+		if f == float64(int64(f)) {
+			return Key{KindTag: 'i', I: int64(f)}, nil
+		}
+		return Key{KindTag: 'f', F: f}, nil
+	case Str:
+		return Key{KindTag: 's', S: string(v)}, nil
+	case *Tuple:
+		// Flatten to a repr string; adequate for tuples of hashables.
+		for _, it := range v.Items {
+			if _, err := MakeKey(it); err != nil {
+				return Key{}, err
+			}
+		}
+		return Key{KindTag: 't', S: v.Repr()}, nil
+	case NoneType:
+		return Key{KindTag: 's', S: "\x00None"}, nil
+	}
+	return Key{}, fmt.Errorf("unhashable type: '%s'", v.TypeName())
+}
+
+// Dict is a mutable, insertion-ordered MiniPy dict.
+type Dict struct {
+	m     map[Key]int // key -> index into entries
+	Entry []DictEntry
+	Addr  uint64
+	holes int // tombstone count; compacted when large
+}
+
+// DictEntry is one key/value pair; Dead marks tombstones left by deletion.
+type DictEntry struct {
+	K    Key
+	KeyV Value
+	V    Value
+	Dead bool
+}
+
+// NewDict returns an empty dict with the given synthetic address.
+func NewDict(addr uint64) *Dict {
+	return &Dict{m: map[Key]int{}, Addr: addr}
+}
+
+func (*Dict) TypeName() string { return "dict" }
+func (d *Dict) Truth() bool    { return d.Len() > 0 }
+
+// Len is the number of live entries.
+func (d *Dict) Len() int { return len(d.Entry) - d.holes }
+
+// Get looks up a key.
+func (d *Dict) Get(k Key) (Value, bool) {
+	i, ok := d.m[k]
+	if !ok {
+		return nil, false
+	}
+	return d.Entry[i].V, true
+}
+
+// Set inserts or updates a key.
+func (d *Dict) Set(k Key, keyV, v Value) {
+	if i, ok := d.m[k]; ok {
+		d.Entry[i].V = v
+		return
+	}
+	d.m[k] = len(d.Entry)
+	d.Entry = append(d.Entry, DictEntry{K: k, KeyV: keyV, V: v})
+}
+
+// Delete removes a key, reporting whether it was present.
+func (d *Dict) Delete(k Key) bool {
+	i, ok := d.m[k]
+	if !ok {
+		return false
+	}
+	delete(d.m, k)
+	d.Entry[i].Dead = true
+	d.holes++
+	if d.holes > 32 && d.holes > len(d.Entry)/2 {
+		d.compact()
+	}
+	return true
+}
+
+func (d *Dict) compact() {
+	live := d.Entry[:0]
+	for _, e := range d.Entry {
+		if !e.Dead {
+			live = append(live, e)
+		}
+	}
+	d.Entry = live
+	d.holes = 0
+	for i := range d.Entry {
+		d.m[d.Entry[i].K] = i
+	}
+}
+
+// Keys returns the live keys in insertion order.
+func (d *Dict) Keys() []Value {
+	out := make([]Value, 0, d.Len())
+	for _, e := range d.Entry {
+		if !e.Dead {
+			out = append(out, e.KeyV)
+		}
+	}
+	return out
+}
+
+// Values returns the live values in insertion order.
+func (d *Dict) Values() []Value {
+	out := make([]Value, 0, d.Len())
+	for _, e := range d.Entry {
+		if !e.Dead {
+			out = append(out, e.V)
+		}
+	}
+	return out
+}
+
+func (d *Dict) Repr() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	first := true
+	for _, e := range d.Entry {
+		if e.Dead {
+			continue
+		}
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		sb.WriteString(e.KeyV.Repr())
+		sb.WriteString(": ")
+		sb.WriteString(e.V.Repr())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// ---- Callables, classes, cells ----
+
+// Cell is a closed-over variable slot shared between closures.
+type Cell struct {
+	V Value
+}
+
+func (*Cell) TypeName() string { return "cell" }
+func (c *Cell) Truth() bool    { return true }
+func (c *Cell) Repr() string   { return "<cell>" }
+
+// Function is a user-defined MiniPy function (a closure over Free cells).
+type Function struct {
+	Code *Code
+	Free []*Cell
+}
+
+func (*Function) TypeName() string { return "function" }
+func (f *Function) Truth() bool    { return true }
+func (f *Function) Repr() string   { return "<function " + f.Code.Name + ">" }
+
+// Class is a user-defined class with single inheritance.
+type Class struct {
+	Name    string
+	Base    *Class
+	Methods map[string]Value
+	Addr    uint64
+}
+
+func (*Class) TypeName() string { return "type" }
+func (c *Class) Truth() bool    { return true }
+func (c *Class) Repr() string   { return "<class '" + c.Name + "'>" }
+
+// Lookup resolves a method or class attribute through the base chain.
+func (c *Class) Lookup(name string) (Value, bool) {
+	for k := c; k != nil; k = k.Base {
+		if v, ok := k.Methods[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// IsSubclassOf reports whether c is other or derives from it.
+func (c *Class) IsSubclassOf(other *Class) bool {
+	for k := c; k != nil; k = k.Base {
+		if k == other {
+			return true
+		}
+	}
+	return false
+}
+
+// Instance is an object of a user-defined class; Fields is its __dict__.
+type Instance struct {
+	Class  *Class
+	Fields map[string]Value
+	Addr   uint64
+}
+
+func (i *Instance) TypeName() string { return i.Class.Name }
+func (i *Instance) Truth() bool      { return true }
+func (i *Instance) Repr() string     { return "<" + i.Class.Name + " object>" }
+
+// BoundMethod pairs a receiver with a function found on its class.
+type BoundMethod struct {
+	Recv Value
+	Fn   *Function
+}
+
+func (*BoundMethod) TypeName() string { return "method" }
+func (m *BoundMethod) Truth() bool    { return true }
+func (m *BoundMethod) Repr() string   { return "<bound method " + m.Fn.Code.Name + ">" }
+
+// RangeVal is the lazy range object.
+type RangeVal struct {
+	Start, Stop, Step int64
+}
+
+func (*RangeVal) TypeName() string { return "range" }
+func (r *RangeVal) Truth() bool    { return r.Len() > 0 }
+func (r *RangeVal) Repr() string {
+	if r.Step == 1 {
+		return fmt.Sprintf("range(%d, %d)", r.Start, r.Stop)
+	}
+	return fmt.Sprintf("range(%d, %d, %d)", r.Start, r.Stop, r.Step)
+}
+
+// Len is the number of elements the range yields.
+func (r *RangeVal) Len() int64 {
+	if r.Step > 0 {
+		if r.Stop <= r.Start {
+			return 0
+		}
+		return (r.Stop - r.Start + r.Step - 1) / r.Step
+	}
+	if r.Stop >= r.Start {
+		return 0
+	}
+	return (r.Start - r.Stop - r.Step - 1) / (-r.Step)
+}
+
+// ---- Sorting support ----
+
+// SortValues sorts vs in place using MiniPy's `<` semantics. It returns an
+// error on incomparable element pairs.
+func SortValues(vs []Value) error {
+	var sortErr error
+	sort.SliceStable(vs, func(i, j int) bool {
+		lt, err := ValueLess(vs[i], vs[j])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return lt
+	})
+	return sortErr
+}
+
+// ValueLess implements MiniPy `<` for numbers, strings, lists and tuples.
+func ValueLess(a, b Value) (bool, error) {
+	switch x := a.(type) {
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return x < y, nil
+		case Float:
+			return float64(x) < float64(y), nil
+		case Bool:
+			return int64(x) < btoi(y), nil
+		}
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return float64(x) < float64(y), nil
+		case Float:
+			return x < y, nil
+		case Bool:
+			return float64(x) < float64(btoi(y)), nil
+		}
+	case Bool:
+		switch y := b.(type) {
+		case Int:
+			return btoi(x) < int64(y), nil
+		case Float:
+			return float64(btoi(x)) < float64(y), nil
+		case Bool:
+			return btoi(x) < btoi(y), nil
+		}
+	case Str:
+		if y, ok := b.(Str); ok {
+			return x < y, nil
+		}
+	case *Tuple:
+		if y, ok := b.(*Tuple); ok {
+			return seqLess(x.Items, y.Items)
+		}
+	case *List:
+		if y, ok := b.(*List); ok {
+			return seqLess(x.Items, y.Items)
+		}
+	}
+	return false, fmt.Errorf("'<' not supported between instances of '%s' and '%s'",
+		a.TypeName(), b.TypeName())
+}
+
+func seqLess(a, b []Value) (bool, error) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		lt, err := ValueLess(a[i], b[i])
+		if err != nil {
+			return false, err
+		}
+		if lt {
+			return true, nil
+		}
+		gt, err := ValueLess(b[i], a[i])
+		if err != nil {
+			return false, err
+		}
+		if gt {
+			return false, nil
+		}
+	}
+	return len(a) < len(b), nil
+}
+
+func btoi(b Bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ValueEqual implements MiniPy `==`.
+func ValueEqual(a, b Value) bool {
+	switch x := a.(type) {
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return x == y
+		case Float:
+			return float64(x) == float64(y)
+		case Bool:
+			return int64(x) == btoi(y)
+		}
+		return false
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return float64(x) == float64(y)
+		case Float:
+			return x == y
+		case Bool:
+			return float64(x) == float64(btoi(y))
+		}
+		return false
+	case Bool:
+		switch y := b.(type) {
+		case Int:
+			return btoi(x) == int64(y)
+		case Float:
+			return float64(btoi(x)) == float64(y)
+		case Bool:
+			return x == y
+		}
+		return false
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case NoneType:
+		_, ok := b.(NoneType)
+		return ok
+	case *Tuple:
+		y, ok := b.(*Tuple)
+		return ok && seqEqual(x.Items, y.Items)
+	case *List:
+		y, ok := b.(*List)
+		return ok && seqEqual(x.Items, y.Items)
+	case *Dict:
+		y, ok := b.(*Dict)
+		if !ok || x.Len() != y.Len() {
+			return false
+		}
+		for _, e := range x.Entry {
+			if e.Dead {
+				continue
+			}
+			v, ok := y.Get(e.K)
+			if !ok || !ValueEqual(e.V, v) {
+				return false
+			}
+		}
+		return true
+	}
+	// Identity for functions, classes, instances.
+	return a == b
+}
+
+func seqEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ValueEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ToStr renders a value the way Python's str() does (strings unquoted).
+func ToStr(v Value) string {
+	if s, ok := v.(Str); ok {
+		return string(s)
+	}
+	return v.Repr()
+}

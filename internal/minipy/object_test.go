@@ -1,0 +1,338 @@
+package minipy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReprs(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Float(2), "2.0"},
+		{Float(-0.125), "-0.125"},
+		{Bool(true), "True"},
+		{Bool(false), "False"},
+		{Str("hi"), "'hi'"},
+		{Str("it's"), `'it\'s'`},
+		{None, "None"},
+		{&List{Items: []Value{Int(1), Str("a")}}, "[1, 'a']"},
+		{&Tuple{Items: []Value{Int(1)}}, "(1,)"},
+		{&Tuple{Items: []Value{Int(1), Int(2)}}, "(1, 2)"},
+		{&Tuple{}, "()"},
+		{&RangeVal{Start: 0, Stop: 5, Step: 1}, "range(0, 5)"},
+		{&RangeVal{Start: 5, Stop: 0, Step: -2}, "range(5, 0, -2)"},
+	}
+	for _, c := range cases {
+		if got := c.v.Repr(); got != c.want {
+			t.Errorf("Repr(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	truthy := []Value{Int(1), Int(-1), Float(0.5), Bool(true), Str("x"),
+		&List{Items: []Value{Int(0)}}, &Tuple{Items: []Value{Int(0)}},
+		&RangeVal{Start: 0, Stop: 1, Step: 1}}
+	falsy := []Value{Int(0), Float(0), Bool(false), Str(""), None,
+		&List{}, &Tuple{}, &RangeVal{Start: 0, Stop: 0, Step: 1}}
+	for _, v := range truthy {
+		if !v.Truth() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truth() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict(0)
+	k1, _ := MakeKey(Str("a"))
+	d.Set(k1, Str("a"), Int(1))
+	if v, ok := d.Get(k1); !ok || v != Int(1) {
+		t.Fatal("get after set")
+	}
+	d.Set(k1, Str("a"), Int(2))
+	if v, _ := d.Get(k1); v != Int(2) {
+		t.Fatal("overwrite")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len %d", d.Len())
+	}
+	if !d.Delete(k1) {
+		t.Fatal("delete existing")
+	}
+	if d.Delete(k1) {
+		t.Fatal("delete missing should report false")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len after delete %d", d.Len())
+	}
+}
+
+func TestDictInsertionOrderSurvivesCompaction(t *testing.T) {
+	d := NewDict(0)
+	for i := 0; i < 100; i++ {
+		k, _ := MakeKey(Int(int64(i)))
+		d.Set(k, Int(int64(i)), Int(int64(i*10)))
+	}
+	// Delete enough to trigger compaction (holes > 32 and > half).
+	for i := 0; i < 70; i++ {
+		k, _ := MakeKey(Int(int64(i)))
+		d.Delete(k)
+	}
+	keys := d.Keys()
+	if len(keys) != 30 {
+		t.Fatalf("live keys %d, want 30", len(keys))
+	}
+	for i, kv := range keys {
+		want := Int(int64(70 + i))
+		if kv != want {
+			t.Fatalf("key order broken at %d: got %v want %v", i, kv, want)
+		}
+		k, _ := MakeKey(want)
+		if v, ok := d.Get(k); !ok || v != Int(int64((70+i)*10)) {
+			t.Fatalf("lookup after compaction broken for %v: %v %v", want, v, ok)
+		}
+	}
+}
+
+func TestMakeKeyNumericEquivalence(t *testing.T) {
+	// Python requires hash(1) == hash(1.0) == hash(True).
+	ki, _ := MakeKey(Int(1))
+	kf, _ := MakeKey(Float(1.0))
+	kb, _ := MakeKey(Bool(true))
+	if ki != kf || ki != kb {
+		t.Fatalf("numeric keys not unified: %v %v %v", ki, kf, kb)
+	}
+	k25, _ := MakeKey(Float(2.5))
+	k2, _ := MakeKey(Int(2))
+	if k25 == k2 {
+		t.Fatal("2.5 must not collide with 2")
+	}
+}
+
+func TestMakeKeyTuplesAndErrors(t *testing.T) {
+	k1, err := MakeKey(&Tuple{Items: []Value{Int(1), Str("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := MakeKey(&Tuple{Items: []Value{Int(1), Str("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("equal tuples must produce equal keys")
+	}
+	if _, err := MakeKey(&List{}); err == nil {
+		t.Fatal("lists must be unhashable")
+	}
+	if _, err := MakeKey(&Tuple{Items: []Value{&List{}}}); err == nil {
+		t.Fatal("tuples containing lists must be unhashable")
+	}
+	if _, err := MakeKey(None); err != nil {
+		t.Fatal("None must be hashable")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	eq := [][2]Value{
+		{Int(1), Int(1)},
+		{Int(1), Float(1)},
+		{Bool(true), Int(1)},
+		{Str("a"), Str("a")},
+		{None, None},
+		{&List{Items: []Value{Int(1), Int(2)}}, &List{Items: []Value{Int(1), Int(2)}}},
+		{&Tuple{Items: []Value{Str("x")}}, &Tuple{Items: []Value{Str("x")}}},
+	}
+	for _, pair := range eq {
+		if !ValueEqual(pair[0], pair[1]) {
+			t.Errorf("%v == %v expected", pair[0], pair[1])
+		}
+	}
+	ne := [][2]Value{
+		{Int(1), Int(2)},
+		{Int(1), Str("1")},
+		{None, Int(0)},
+		{&List{Items: []Value{Int(1)}}, &List{Items: []Value{Int(1), Int(2)}}},
+		{&List{Items: []Value{Int(1)}}, &Tuple{Items: []Value{Int(1)}}},
+	}
+	for _, pair := range ne {
+		if ValueEqual(pair[0], pair[1]) {
+			t.Errorf("%v != %v expected", pair[0], pair[1])
+		}
+	}
+}
+
+func TestDictEqual(t *testing.T) {
+	mk := func(pairs ...[2]Value) *Dict {
+		d := NewDict(0)
+		for _, p := range pairs {
+			k, _ := MakeKey(p[0])
+			d.Set(k, p[0], p[1])
+		}
+		return d
+	}
+	a := mk([2]Value{Str("x"), Int(1)}, [2]Value{Str("y"), Int(2)})
+	b := mk([2]Value{Str("y"), Int(2)}, [2]Value{Str("x"), Int(1)})
+	if !ValueEqual(a, b) {
+		t.Fatal("dict equality must be order-independent")
+	}
+	c := mk([2]Value{Str("x"), Int(1)})
+	if ValueEqual(a, c) {
+		t.Fatal("different sizes must not be equal")
+	}
+}
+
+func TestValueLessOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(2), true},
+		{Int(2), Int(1), false},
+		{Float(1.5), Int(2), true},
+		{Str("abc"), Str("abd"), true},
+		{Str("ab"), Str("abc"), true},
+		{&Tuple{Items: []Value{Int(1), Int(2)}}, &Tuple{Items: []Value{Int(1), Int(3)}}, true},
+		{&Tuple{Items: []Value{Int(1)}}, &Tuple{Items: []Value{Int(1), Int(0)}}, true},
+		{Bool(false), Bool(true), true},
+	}
+	for _, c := range cases {
+		got, err := ValueLess(c.a, c.b)
+		if err != nil {
+			t.Fatalf("ValueLess(%v, %v): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("ValueLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := ValueLess(Int(1), Str("a")); err == nil {
+		t.Error("int < str must error")
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []Value{Int(3), Int(1), Float(2.5), Int(2)}
+	if err := SortValues(vs); err != nil {
+		t.Fatal(err)
+	}
+	want := []Value{Int(1), Int(2), Float(2.5), Int(3)}
+	for i := range vs {
+		if !ValueEqual(vs[i], want[i]) {
+			t.Fatalf("sorted %v, want %v", vs, want)
+		}
+	}
+	if err := SortValues([]Value{Int(1), Str("a")}); err == nil {
+		t.Fatal("mixed incomparable sort must error")
+	}
+}
+
+func TestRangeLen(t *testing.T) {
+	cases := []struct {
+		r    RangeVal
+		want int64
+	}{
+		{RangeVal{0, 10, 1}, 10},
+		{RangeVal{0, 10, 3}, 4},
+		{RangeVal{10, 0, -1}, 10},
+		{RangeVal{10, 0, -3}, 4},
+		{RangeVal{5, 5, 1}, 0},
+		{RangeVal{5, 2, 1}, 0},
+		{RangeVal{2, 5, -1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Len(); got != c.want {
+			t.Errorf("Len(%v) = %d, want %d", c.r.Repr(), got, c.want)
+		}
+	}
+}
+
+// Property: ValueLess is a strict weak ordering on ints — irreflexive,
+// asymmetric, transitive-consistent with int comparison.
+func TestValueLessIntProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		lt, err1 := ValueLess(Int(a), Int(b))
+		gt, err2 := ValueLess(Int(b), Int(a))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a == b {
+			return !lt && !gt
+		}
+		return lt == (a < b) && gt == (b < a) && lt != gt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MakeKey(Int(x)) is injective.
+func TestMakeKeyIntInjective(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, _ := MakeKey(Int(a))
+		kb, _ := MakeKey(Int(b))
+		return (ka == kb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dict Set/Get round-trips for arbitrary int keys.
+func TestDictRoundTripProperty(t *testing.T) {
+	f := func(keys []int64) bool {
+		d := NewDict(0)
+		want := map[int64]int64{}
+		for i, k := range keys {
+			key, _ := MakeKey(Int(k))
+			d.Set(key, Int(k), Int(int64(i)))
+			want[k] = int64(i)
+		}
+		if d.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			key, _ := MakeKey(Int(k))
+			got, ok := d.Get(key)
+			if !ok || got != Int(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatReprSpecials(t *testing.T) {
+	if got := Float(math.Inf(1)).Repr(); got != "+Inf" && got != "inf" {
+		// Document the Go-style rendering; engines never produce Inf in
+		// checked workloads.
+		t.Logf("inf renders as %q", got)
+	}
+	if Float(0).Repr() != "0.0" {
+		t.Errorf("Float(0) = %q", Float(0).Repr())
+	}
+}
+
+func TestToStr(t *testing.T) {
+	if ToStr(Str("x")) != "x" {
+		t.Error("ToStr must unquote strings")
+	}
+	if ToStr(Int(5)) != "5" {
+		t.Error("ToStr(5)")
+	}
+	if ToStr(&List{Items: []Value{Str("a")}}) != "['a']" {
+		t.Error("ToStr list keeps inner quotes")
+	}
+}

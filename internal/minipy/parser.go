@@ -1,0 +1,768 @@
+package minipy
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses src into a Module.
+func Parse(src string) (*Module, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	mod := &Module{}
+	p.skipNewlines()
+	for !p.at(EOF) {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		mod.Body = append(mod.Body, st)
+		p.skipNewlines()
+	}
+	return mod, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) at(k Kind) bool {
+	return p.toks[p.pos].Kind == k
+}
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, &SyntaxError{Line: t.Line, Col: t.Col,
+		Msg: fmt.Sprintf("expected %s, found %s", k, t)}
+}
+func (p *Parser) skipNewlines() {
+	for p.at(Newline) {
+		p.pos++
+	}
+}
+func (p *Parser) posOf(t Token) position { return position{Line: t.Line, Col: t.Col} }
+
+// block parses `: NEWLINE INDENT stmt+ DEDENT` or a simple-statement suite
+// on the same line (`: stmt NEWLINE`).
+func (p *Parser) block() ([]Stmt, error) {
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	if !p.at(Newline) {
+		// Single simple statement on the same line: `if x: return 1`.
+		st, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(EOF) {
+			if _, err := p.expect(Newline); err != nil {
+				return nil, err
+			}
+		}
+		return []Stmt{st}, nil
+	}
+	p.next() // NEWLINE
+	p.skipNewlines()
+	if _, err := p.expect(Indent); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	p.skipNewlines()
+	for !p.at(Dedent) && !p.at(EOF) {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+		p.skipNewlines()
+	}
+	if _, err := p.expect(Dedent); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func (p *Parser) statement() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwDef:
+		return p.funcDef()
+	case KwClass:
+		return p.classDef()
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwFor:
+		return p.forStmt()
+	}
+	st, err := p.simpleStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(EOF) && !p.at(Dedent) {
+		if _, err := p.expect(Newline); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) funcDef() (Stmt, error) {
+	t := p.next() // def
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Lparen); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.at(Rparen) {
+		pn, err := p.expect(Ident)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, pn.Text)
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(Rparen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{position: p.posOf(t), Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *Parser) classDef() (Stmt, error) {
+	t := p.next() // class
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	base := ""
+	if p.accept(Lparen) {
+		if !p.at(Rparen) {
+			bn, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			base = bn.Text
+		}
+		if _, err := p.expect(Rparen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ClassDef{position: p.posOf(t), Name: name.Text, Base: base, Body: body}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.next() // if / elif
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{position: p.posOf(t), Cond: cond, Then: then}
+	p.skipNewlines()
+	switch p.cur().Kind {
+	case KwElif:
+		sub, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = []Stmt{sub}
+	case KwElse:
+		p.next()
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	t := p.next()
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{position: p.posOf(t), Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t := p.next()
+	// Loop variable: name or comma-separated names (tuple unpack).
+	first, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	var loopVar Expr = &NameExpr{position: p.posOf(first), Name: first.Text}
+	if p.at(Comma) {
+		elems := []Expr{loopVar}
+		for p.accept(Comma) {
+			n, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, &NameExpr{position: p.posOf(n), Name: n.Text})
+		}
+		loopVar = &TupleLit{position: p.posOf(first), Elems: elems}
+	}
+	if _, err := p.expect(KwIn); err != nil {
+		return nil, err
+	}
+	iter, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{position: p.posOf(t), Var: loopVar, Iterable: iter, Body: body}, nil
+}
+
+func (p *Parser) simpleStatement() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwReturn:
+		p.next()
+		var v Expr
+		if !p.at(Newline) && !p.at(EOF) && !p.at(Dedent) {
+			var err error
+			v, err = p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ReturnStmt{position: p.posOf(t), Value: v}, nil
+	case KwBreak:
+		p.next()
+		return &BreakStmt{position: p.posOf(t)}, nil
+	case KwContinue:
+		p.next()
+		return &ContinueStmt{position: p.posOf(t)}, nil
+	case KwPass:
+		p.next()
+		return &PassStmt{position: p.posOf(t)}, nil
+	case KwGlobal, KwNonlocal:
+		p.next()
+		var names []string
+		for {
+			n, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, n.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if t.Kind == KwGlobal {
+			return &GlobalStmt{position: p.posOf(t), Names: names}, nil
+		}
+		return &NonlocalStmt{position: p.posOf(t), Names: names}, nil
+	case KwDel:
+		p.next()
+		target, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := target.(*IndexExpr); !ok {
+			return nil, &SyntaxError{Line: t.Line, Col: t.Col, Msg: "del supports only subscript targets"}
+		}
+		return &DelStmt{position: p.posOf(t), Target: target}, nil
+	}
+	// Expression, assignment, or augmented assignment.
+	lhs, err := p.exprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign:
+		p.next()
+		rhs, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		// Chained assignment a = b = expr.
+		for p.accept(Assign) {
+			// Treat previous rhs as an additional target; only names allowed.
+			rhs2, err := p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			lhs2 := rhs
+			if err := validateTarget(lhs2); err != nil {
+				return nil, err
+			}
+			inner := &AssignStmt{position: p.posOf(t), Target: lhs2, Value: rhs2}
+			_ = inner
+			// Desugar: we only support two-level chains commonly; build nested.
+			rhs = rhs2
+			if err := validateTarget(lhs); err != nil {
+				return nil, err
+			}
+			// Represent as tuple target? Simpler: reject deep chains.
+			return nil, &SyntaxError{Line: t.Line, Col: t.Col, Msg: "chained assignment is not supported"}
+		}
+		if err := validateTarget(lhs); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{position: p.posOf(t), Target: lhs, Value: rhs}, nil
+	case PlusAssign, MinusAssign, StarAssign, SlashAssign, SlashSlashAssign, PercentAssign:
+		opTok := p.next()
+		rhs, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := validateTarget(lhs); err != nil {
+			return nil, err
+		}
+		var op Kind
+		switch opTok.Kind {
+		case PlusAssign:
+			op = Plus
+		case MinusAssign:
+			op = Minus
+		case StarAssign:
+			op = Star
+		case SlashAssign:
+			op = Slash
+		case SlashSlashAssign:
+			op = SlashSlash
+		case PercentAssign:
+			op = Percent
+		}
+		return &AugAssignStmt{position: p.posOf(t), Op: op, Target: lhs, Value: rhs}, nil
+	}
+	return &ExprStmt{position: p.posOf(t), X: lhs}, nil
+}
+
+func validateTarget(e Expr) error {
+	switch e := e.(type) {
+	case *NameExpr, *IndexExpr, *AttrExpr:
+		return nil
+	case *TupleLit:
+		for _, el := range e.Elems {
+			if err := validateTarget(el); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	line, col := e.Pos()
+	return &SyntaxError{Line: line, Col: col, Msg: "invalid assignment target"}
+}
+
+// exprOrTuple parses expr (, expr)* — bare tuples like `a, b`.
+func (p *Parser) exprOrTuple() (Expr, error) {
+	first, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(Comma) {
+		return first, nil
+	}
+	elems := []Expr{first}
+	for p.accept(Comma) {
+		if p.at(Newline) || p.at(EOF) || p.at(Assign) || p.at(Rparen) {
+			break // trailing comma
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	line, col := first.Pos()
+	return &TupleLit{position: position{Line: line, Col: col}, Elems: elems}, nil
+}
+
+// expression parses a conditional expression (ternary) and below.
+func (p *Parser) expression() (Expr, error) {
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(KwIf) {
+		t := p.next()
+		cond, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwElse); err != nil {
+			return nil, err
+		}
+		els, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{position: p.posOf(t), Cond: cond, Then: e, Else: els}, nil
+	}
+	return e, nil
+}
+
+func (p *Parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(KwOr) {
+		t := p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BoolOp{position: p.posOf(t), Op: KwOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(KwAnd) {
+		t := p.next()
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BoolOp{position: p.posOf(t), Op: KwAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) notExpr() (Expr, error) {
+	if p.at(KwNot) {
+		t := p.next()
+		// `not in` is handled at comparison level; here `not expr`.
+		operand, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{position: p.posOf(t), Op: KwNot, Operand: operand}, nil
+	}
+	return p.comparison()
+}
+
+func (p *Parser) comparison() (Expr, error) {
+	left, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		switch k {
+		case Eq, Ne, Lt, Le, Gt, Ge, KwIn:
+			t := p.next()
+			right, err := p.arith()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinOp{position: p.posOf(t), Op: k, Left: left, Right: right}
+		case KwNot:
+			// `x not in y`
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == KwIn {
+				t := p.next() // not
+				p.next()      // in
+				right, err := p.arith()
+				if err != nil {
+					return nil, err
+				}
+				in := &BinOp{position: p.posOf(t), Op: KwIn, Left: left, Right: right}
+				left = &UnaryOp{position: p.posOf(t), Op: KwNot, Operand: in}
+			} else {
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) arith() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Plus) || p.at(Minus) {
+		t := p.next()
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{position: p.posOf(t), Op: t.Kind, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) term() (Expr, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Star) || p.at(Slash) || p.at(SlashSlash) || p.at(Percent) {
+		t := p.next()
+		right, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{position: p.posOf(t), Op: t.Kind, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) factor() (Expr, error) {
+	if p.at(Minus) || p.at(Plus) {
+		t := p.next()
+		operand, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		// Constant-fold negative literals so -1 is a single constant.
+		if t.Kind == Minus {
+			switch lit := operand.(type) {
+			case *IntLit:
+				return &IntLit{position: p.posOf(t), Value: -lit.Value}, nil
+			case *FloatLit:
+				return &FloatLit{position: p.posOf(t), Value: -lit.Value}, nil
+			}
+		}
+		return &UnaryOp{position: p.posOf(t), Op: t.Kind, Operand: operand}, nil
+	}
+	return p.power()
+}
+
+func (p *Parser) power() (Expr, error) {
+	base, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(StarStar) {
+		t := p.next()
+		exp, err := p.factor() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{position: p.posOf(t), Op: StarStar, Left: base, Right: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Lparen:
+			t := p.next()
+			var args []Expr
+			for !p.at(Rparen) {
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(Rparen); err != nil {
+				return nil, err
+			}
+			e = &CallExpr{position: p.posOf(t), Fn: e, Args: args}
+		case Lbracket:
+			t := p.next()
+			var lo, hi Expr
+			isSlice := false
+			if p.at(Colon) {
+				isSlice = true
+			} else {
+				var err error
+				lo, err = p.expression()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if p.accept(Colon) {
+				isSlice = true
+				if !p.at(Rbracket) {
+					var err error
+					hi, err = p.expression()
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := p.expect(Rbracket); err != nil {
+				return nil, err
+			}
+			if isSlice {
+				e = &SliceExpr{position: p.posOf(t), Target: e, Lo: lo, Hi: hi}
+			} else {
+				e = &IndexExpr{position: p.posOf(t), Target: e, Index: lo}
+			}
+		case Dot:
+			t := p.next()
+			name, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			e = &AttrExpr{position: p.posOf(t), Target: e, Name: name.Text}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) atom() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Ident:
+		p.next()
+		return &NameExpr{position: p.posOf(t), Name: t.Text}, nil
+	case IntTok:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Line: t.Line, Col: t.Col, Msg: "invalid integer literal"}
+		}
+		return &IntLit{position: p.posOf(t), Value: v}, nil
+	case FloatTok:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &SyntaxError{Line: t.Line, Col: t.Col, Msg: "invalid float literal"}
+		}
+		return &FloatLit{position: p.posOf(t), Value: v}, nil
+	case StrTok:
+		p.next()
+		return &StrLit{position: p.posOf(t), Value: t.Text}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLit{position: p.posOf(t), Value: true}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLit{position: p.posOf(t), Value: false}, nil
+	case KwNone:
+		p.next()
+		return &NoneLit{position: p.posOf(t)}, nil
+	case Lparen:
+		p.next()
+		if p.accept(Rparen) {
+			return &TupleLit{position: p.posOf(t)}, nil
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(Comma) {
+			elems := []Expr{e}
+			for p.accept(Comma) {
+				if p.at(Rparen) {
+					break
+				}
+				el, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, el)
+			}
+			if _, err := p.expect(Rparen); err != nil {
+				return nil, err
+			}
+			return &TupleLit{position: p.posOf(t), Elems: elems}, nil
+		}
+		if _, err := p.expect(Rparen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case Lbracket:
+		p.next()
+		var elems []Expr
+		for !p.at(Rbracket) {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(Rbracket); err != nil {
+			return nil, err
+		}
+		return &ListLit{position: p.posOf(t), Elems: elems}, nil
+	case Lbrace:
+		p.next()
+		var keys, vals []Expr
+		for !p.at(Rbrace) {
+			k, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(Rbrace); err != nil {
+			return nil, err
+		}
+		return &DictLit{position: p.posOf(t), Keys: keys, Values: vals}, nil
+	}
+	return nil, &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf("unexpected token %s", t)}
+}

@@ -1,0 +1,335 @@
+package minipy
+
+import (
+	"testing"
+)
+
+func parse(t *testing.T, src string) *Module {
+	t.Helper()
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return mod
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse(%q): expected error", src)
+	}
+	return err
+}
+
+func TestParsePrecedence(t *testing.T) {
+	mod := parse(t, "x = 1 + 2 * 3")
+	assign := mod.Body[0].(*AssignStmt)
+	add := assign.Value.(*BinOp)
+	if add.Op != Plus {
+		t.Fatalf("top op = %v, want +", add.Op)
+	}
+	mul := add.Right.(*BinOp)
+	if mul.Op != Star {
+		t.Fatalf("right op = %v, want *", mul.Op)
+	}
+}
+
+func TestParsePowerRightAssociative(t *testing.T) {
+	mod := parse(t, "x = 2 ** 3 ** 2")
+	pow := mod.Body[0].(*AssignStmt).Value.(*BinOp)
+	if pow.Op != StarStar {
+		t.Fatalf("op = %v", pow.Op)
+	}
+	inner, ok := pow.Right.(*BinOp)
+	if !ok || inner.Op != StarStar {
+		t.Fatalf("2**3**2 should parse as 2**(3**2), got %T", pow.Right)
+	}
+}
+
+func TestParseUnaryMinusFolding(t *testing.T) {
+	mod := parse(t, "x = -5\ny = -2.5\nz = -(a)")
+	if lit := mod.Body[0].(*AssignStmt).Value.(*IntLit); lit.Value != -5 {
+		t.Fatalf("folded int = %d", lit.Value)
+	}
+	if lit := mod.Body[1].(*AssignStmt).Value.(*FloatLit); lit.Value != -2.5 {
+		t.Fatalf("folded float = %v", lit.Value)
+	}
+	if _, ok := mod.Body[2].(*AssignStmt).Value.(*UnaryOp); !ok {
+		t.Fatal("-(a) should stay a UnaryOp")
+	}
+}
+
+func TestParseComparisonChainIsLeftAssoc(t *testing.T) {
+	// MiniPy treats a < b < c as (a < b) < c (documented divergence from
+	// Python's chained comparisons; workloads avoid chains).
+	mod := parse(t, "x = a < b < c")
+	top := mod.Body[0].(*AssignStmt).Value.(*BinOp)
+	if top.Op != Lt {
+		t.Fatalf("op %v", top.Op)
+	}
+	if _, ok := top.Left.(*BinOp); !ok {
+		t.Fatal("left should be BinOp")
+	}
+}
+
+func TestParseBoolOpsAndNot(t *testing.T) {
+	mod := parse(t, "x = a and not b or c")
+	or := mod.Body[0].(*AssignStmt).Value.(*BoolOp)
+	if or.Op != KwOr {
+		t.Fatalf("top %v, want or", or.Op)
+	}
+	and := or.Left.(*BoolOp)
+	if and.Op != KwAnd {
+		t.Fatalf("left %v, want and", and.Op)
+	}
+	if _, ok := and.Right.(*UnaryOp); !ok {
+		t.Fatal("not b should be UnaryOp")
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	mod := parse(t, "x = a not in b")
+	not := mod.Body[0].(*AssignStmt).Value.(*UnaryOp)
+	if not.Op != KwNot {
+		t.Fatalf("want not, got %v", not.Op)
+	}
+	in := not.Operand.(*BinOp)
+	if in.Op != KwIn {
+		t.Fatalf("want in, got %v", in.Op)
+	}
+}
+
+func TestParseCallsAndAttrsAndIndexChain(t *testing.T) {
+	mod := parse(t, "x = obj.method(1, 2)[0].attr")
+	attr := mod.Body[0].(*AssignStmt).Value.(*AttrExpr)
+	if attr.Name != "attr" {
+		t.Fatalf("attr name %q", attr.Name)
+	}
+	idx := attr.Target.(*IndexExpr)
+	call := idx.Target.(*CallExpr)
+	if len(call.Args) != 2 {
+		t.Fatalf("args %d", len(call.Args))
+	}
+	m := call.Fn.(*AttrExpr)
+	if m.Name != "method" {
+		t.Fatalf("method name %q", m.Name)
+	}
+}
+
+func TestParseSlices(t *testing.T) {
+	mod := parse(t, "a = x[1:2]\nb = x[:2]\nc = x[1:]\nd = x[:]\ne = x[1]")
+	if s := mod.Body[0].(*AssignStmt).Value.(*SliceExpr); s.Lo == nil || s.Hi == nil {
+		t.Fatal("x[1:2] should have both bounds")
+	}
+	if s := mod.Body[1].(*AssignStmt).Value.(*SliceExpr); s.Lo != nil || s.Hi == nil {
+		t.Fatal("x[:2] bounds wrong")
+	}
+	if s := mod.Body[2].(*AssignStmt).Value.(*SliceExpr); s.Lo == nil || s.Hi != nil {
+		t.Fatal("x[1:] bounds wrong")
+	}
+	if s := mod.Body[3].(*AssignStmt).Value.(*SliceExpr); s.Lo != nil || s.Hi != nil {
+		t.Fatal("x[:] bounds wrong")
+	}
+	if _, ok := mod.Body[4].(*AssignStmt).Value.(*IndexExpr); !ok {
+		t.Fatal("x[1] should be IndexExpr")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	mod := parse(t, "a = [1, 2]\nb = (1, 2)\nc = {1: 'x'}\nd = ()\ne = (1,)\nf = {}")
+	if l := mod.Body[0].(*AssignStmt).Value.(*ListLit); len(l.Elems) != 2 {
+		t.Fatal("list literal")
+	}
+	if tu := mod.Body[1].(*AssignStmt).Value.(*TupleLit); len(tu.Elems) != 2 {
+		t.Fatal("tuple literal")
+	}
+	if d := mod.Body[2].(*AssignStmt).Value.(*DictLit); len(d.Keys) != 1 {
+		t.Fatal("dict literal")
+	}
+	if tu := mod.Body[3].(*AssignStmt).Value.(*TupleLit); len(tu.Elems) != 0 {
+		t.Fatal("empty tuple")
+	}
+	if tu := mod.Body[4].(*AssignStmt).Value.(*TupleLit); len(tu.Elems) != 1 {
+		t.Fatal("single-element tuple")
+	}
+	if d := mod.Body[5].(*AssignStmt).Value.(*DictLit); len(d.Keys) != 0 {
+		t.Fatal("empty dict")
+	}
+}
+
+func TestParseBareTupleAssign(t *testing.T) {
+	mod := parse(t, "a, b = 1, 2")
+	assign := mod.Body[0].(*AssignStmt)
+	if tgt := assign.Target.(*TupleLit); len(tgt.Elems) != 2 {
+		t.Fatal("tuple target")
+	}
+	if val := assign.Value.(*TupleLit); len(val.Elems) != 2 {
+		t.Fatal("tuple value")
+	}
+}
+
+func TestParseAugAssign(t *testing.T) {
+	mod := parse(t, "x += 1\ny[0] -= 2\nz.a *= 3")
+	if st := mod.Body[0].(*AugAssignStmt); st.Op != Plus {
+		t.Fatalf("op %v", st.Op)
+	}
+	if st := mod.Body[1].(*AugAssignStmt); st.Op != Minus {
+		t.Fatalf("op %v", st.Op)
+	}
+	if st := mod.Body[2].(*AugAssignStmt); st.Op != Star {
+		t.Fatalf("op %v", st.Op)
+	}
+}
+
+func TestParseIfElifElse(t *testing.T) {
+	src := `
+if a:
+    x = 1
+elif b:
+    x = 2
+elif c:
+    x = 3
+else:
+    x = 4
+`
+	mod := parse(t, src)
+	st := mod.Body[0].(*IfStmt)
+	depth := 0
+	for {
+		depth++
+		if len(st.Else) == 1 {
+			if sub, ok := st.Else[0].(*IfStmt); ok {
+				st = sub
+				continue
+			}
+		}
+		break
+	}
+	if depth != 3 {
+		t.Fatalf("elif chain depth = %d, want 3", depth)
+	}
+	if len(st.Else) != 1 {
+		t.Fatalf("final else has %d stmts", len(st.Else))
+	}
+}
+
+func TestParseSingleLineSuite(t *testing.T) {
+	mod := parse(t, "if x: return_val = 1\nwhile y: y -= 1")
+	if st := mod.Body[0].(*IfStmt); len(st.Then) != 1 {
+		t.Fatal("single-line if suite")
+	}
+	if st := mod.Body[1].(*WhileStmt); len(st.Body) != 1 {
+		t.Fatal("single-line while suite")
+	}
+}
+
+func TestParseForWithTupleTarget(t *testing.T) {
+	mod := parse(t, "for k, v in items:\n    pass")
+	st := mod.Body[0].(*ForStmt)
+	if tgt := st.Var.(*TupleLit); len(tgt.Elems) != 2 {
+		t.Fatal("tuple loop var")
+	}
+}
+
+func TestParseFuncAndClass(t *testing.T) {
+	src := `
+def f(a, b):
+    return a + b
+
+class Point(Base):
+    size = 2
+    def __init__(self, x):
+        self.x = x
+    def get(self):
+        return self.x
+`
+	mod := parse(t, src)
+	fn := mod.Body[0].(*FuncDef)
+	if fn.Name != "f" || len(fn.Params) != 2 {
+		t.Fatalf("func %q params %v", fn.Name, fn.Params)
+	}
+	cls := mod.Body[1].(*ClassDef)
+	if cls.Name != "Point" || cls.Base != "Base" {
+		t.Fatalf("class %q base %q", cls.Name, cls.Base)
+	}
+	if len(cls.Body) != 3 {
+		t.Fatalf("class body %d stmts", len(cls.Body))
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	mod := parse(t, "x = a if cond else b")
+	if _, ok := mod.Body[0].(*AssignStmt).Value.(*CondExpr); !ok {
+		t.Fatal("expected CondExpr")
+	}
+}
+
+func TestParseGlobalNonlocalDel(t *testing.T) {
+	mod := parse(t, "def f():\n    global a, b\n    nonlocal_unused = 0\n\ndel d[1]")
+	fn := mod.Body[0].(*FuncDef)
+	g := fn.Body[0].(*GlobalStmt)
+	if len(g.Names) != 2 {
+		t.Fatalf("global names %v", g.Names)
+	}
+	if _, ok := mod.Body[1].(*DelStmt); !ok {
+		t.Fatal("expected DelStmt")
+	}
+}
+
+func TestParseReturnVariants(t *testing.T) {
+	mod := parse(t, "def f():\n    return\ndef g():\n    return 1\ndef h():\n    return 1, 2")
+	if st := mod.Body[0].(*FuncDef).Body[0].(*ReturnStmt); st.Value != nil {
+		t.Fatal("bare return should have nil value")
+	}
+	if st := mod.Body[2].(*FuncDef).Body[0].(*ReturnStmt); st.Value == nil {
+		t.Fatal("return 1, 2 should have a value")
+	} else if _, ok := st.Value.(*TupleLit); !ok {
+		t.Fatal("return 1, 2 should be a tuple")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x = ",
+		"if x\n    y = 1",
+		"def f(:\n    pass",
+		"1 = x",
+		"x + 1 = 2",
+		"del x",     // only subscripts deletable
+		"a = b = c", // chained assignment unsupported
+	}
+	for _, src := range cases {
+		parseErr(t, src)
+	}
+	// These parse but fail semantic checks during compilation.
+	compileErrs := []string{
+		"return 1",                          // return at module level
+		"class C:\n    if x:\n        pass", // control flow in class body
+		"def f():\n    nonlocal missing\n    missing = 1",
+	}
+	for _, src := range compileErrs {
+		if _, err := CompileSource(src); err == nil {
+			t.Errorf("CompileSource(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseTrailingCommas(t *testing.T) {
+	mod := parse(t, "a = [1, 2,]\nb = f(1, 2,)\nc = {1: 2,}")
+	if l := mod.Body[0].(*AssignStmt).Value.(*ListLit); len(l.Elems) != 2 {
+		t.Fatal("trailing comma in list")
+	}
+	if c := mod.Body[1].(*AssignStmt).Value.(*CallExpr); len(c.Args) != 2 {
+		t.Fatal("trailing comma in call")
+	}
+}
+
+func TestParsePositionsPropagate(t *testing.T) {
+	mod := parse(t, "x = 1\n\ny = 2")
+	l1, _ := mod.Body[0].Pos()
+	l2, _ := mod.Body[1].Pos()
+	if l1 != 1 || l2 != 3 {
+		t.Fatalf("positions %d %d, want 1 3", l1, l2)
+	}
+}

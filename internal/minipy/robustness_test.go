@@ -1,0 +1,118 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the front end never panics on arbitrary byte input — it either
+// compiles or returns a typed error. (A fuzz-style guarantee expressed via
+// testing/quick so it runs in the normal suite.)
+func TestFrontEndNeverPanicsOnArbitraryBytes(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", raw, r)
+				ok = false
+			}
+		}()
+		code, err := CompileSource(string(raw))
+		if err == nil && code != nil {
+			// Whatever compiles must also verify.
+			if verr := Verify(code); verr != nil {
+				t.Logf("compiled but unverifiable %q: %v", raw, verr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutated fragments of valid programs never panic the front end,
+// and anything that compiles passes the bytecode verifier. Mutations of
+// near-valid programs probe much deeper parser paths than random bytes.
+func TestFrontEndRobustOnMutatedPrograms(t *testing.T) {
+	base := `
+def f(a, b):
+    total = 0
+    for i in range(a):
+        if i % 2 == 0:
+            total += i * b
+        else:
+            total -= 1
+    return total
+
+class C:
+    def __init__(self, v):
+        self.v = v
+
+x = f(10, 3)
+c = C(x)
+print(c.v, [i for_ in (1, 2)], {'k': x})
+`
+	mutations := []func(string) string{
+		func(s string) string { return strings.ReplaceAll(s, ":", "") },
+		func(s string) string { return strings.ReplaceAll(s, "(", "[") },
+		func(s string) string { return strings.ReplaceAll(s, "    ", "  ") },
+		func(s string) string { return strings.ReplaceAll(s, "def", "de f") },
+		func(s string) string { return s[:len(s)/2] },
+		func(s string) string { return s[len(s)/3:] },
+		func(s string) string { return strings.ReplaceAll(s, "=", "==") },
+		func(s string) string { return strings.ReplaceAll(s, "\n", "\n\n\t") },
+		func(s string) string { return strings.ReplaceAll(s, "i", "") },
+		func(s string) string { return s + s },
+		func(s string) string { return strings.ReplaceAll(s, "'", "\"") },
+		func(s string) string { return strings.ReplaceAll(s, "return", "pass return") },
+	}
+	srcs := []string{base}
+	for _, m1 := range mutations {
+		for _, m2 := range mutations {
+			srcs = append(srcs, m2(m1(base)))
+		}
+	}
+	for i, src := range srcs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutation %d panicked: %v\n%s", i, r, src)
+				}
+			}()
+			code, err := CompileSource(src)
+			if err == nil && code != nil {
+				if verr := Verify(code); verr != nil {
+					t.Fatalf("mutation %d compiled but failed verification: %v\n%s", i, verr, src)
+				}
+			}
+		}()
+	}
+}
+
+// Property: the lexer terminates and yields a bounded token count on
+// pathological inputs (deep nesting, long runs of operators).
+func TestLexerPathologicalInputs(t *testing.T) {
+	inputs := []string{
+		strings.Repeat("(", 5000),
+		strings.Repeat("[1,", 2000),
+		strings.Repeat("+", 10000),
+		strings.Repeat("x = 1\n", 5000),
+		strings.Repeat(" ", 10000) + "x",
+		strings.Repeat("\n", 10000),
+		strings.Repeat("# comment\n", 5000),
+		"'" + strings.Repeat("a", 100000) + "'",
+		strings.Repeat("if x:\n ", 300),
+	}
+	for i, src := range inputs {
+		toks, err := Tokenize(src)
+		if err != nil {
+			continue // errors are fine; hangs and panics are not
+		}
+		if len(toks) > 3*len(src)+16 {
+			t.Fatalf("input %d: token explosion: %d tokens from %d bytes",
+				i, len(toks), len(src))
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package minipy implements a Python-subset language front end: a lexer with
+// significant indentation, a recursive-descent parser, a bytecode compiler,
+// and the runtime object model. It is the workload substrate for the
+// benchmarking methodology: programs written in MiniPy are compiled once and
+// executed by the engines in internal/vm.
+package minipy
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds appear after the operators.
+const (
+	EOF Kind = iota
+	Newline
+	Indent
+	Dedent
+	Ident
+	IntTok
+	FloatTok
+	StrTok
+
+	// Operators and punctuation.
+	Plus     // +
+	Minus    // -
+	Star     // *
+	StarStar // **
+	Slash    // /
+	SlashSlash
+	Percent
+	Lparen
+	Rparen
+	Lbracket
+	Rbracket
+	Lbrace
+	Rbrace
+	Comma
+	Colon
+	Dot
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	SlashSlashAssign
+	PercentAssign
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+
+	// Keywords.
+	KwDef
+	KwReturn
+	KwIf
+	KwElif
+	KwElse
+	KwWhile
+	KwFor
+	KwIn
+	KwBreak
+	KwContinue
+	KwPass
+	KwAnd
+	KwOr
+	KwNot
+	KwTrue
+	KwFalse
+	KwNone
+	KwClass
+	KwGlobal
+	KwNonlocal
+	KwDel
+)
+
+var kindNames = map[Kind]string{
+	EOF:              "EOF",
+	Newline:          "NEWLINE",
+	Indent:           "INDENT",
+	Dedent:           "DEDENT",
+	Ident:            "IDENT",
+	IntTok:           "INT",
+	FloatTok:         "FLOAT",
+	StrTok:           "STR",
+	Plus:             "+",
+	Minus:            "-",
+	Star:             "*",
+	StarStar:         "**",
+	Slash:            "/",
+	SlashSlash:       "//",
+	Percent:          "%",
+	Lparen:           "(",
+	Rparen:           ")",
+	Lbracket:         "[",
+	Rbracket:         "]",
+	Lbrace:           "{",
+	Rbrace:           "}",
+	Comma:            ",",
+	Colon:            ":",
+	Dot:              ".",
+	Assign:           "=",
+	PlusAssign:       "+=",
+	MinusAssign:      "-=",
+	StarAssign:       "*=",
+	SlashAssign:      "/=",
+	SlashSlashAssign: "//=",
+	PercentAssign:    "%=",
+	Eq:               "==",
+	Ne:               "!=",
+	Lt:               "<",
+	Le:               "<=",
+	Gt:               ">",
+	Ge:               ">=",
+	KwDef:            "def",
+	KwReturn:         "return",
+	KwIf:             "if",
+	KwElif:           "elif",
+	KwElse:           "else",
+	KwWhile:          "while",
+	KwFor:            "for",
+	KwIn:             "in",
+	KwBreak:          "break",
+	KwContinue:       "continue",
+	KwPass:           "pass",
+	KwAnd:            "and",
+	KwOr:             "or",
+	KwNot:            "not",
+	KwTrue:           "True",
+	KwFalse:          "False",
+	KwNone:           "None",
+	KwClass:          "class",
+	KwGlobal:         "global",
+	KwNonlocal:       "nonlocal",
+	KwDel:            "del",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"def":      KwDef,
+	"return":   KwReturn,
+	"if":       KwIf,
+	"elif":     KwElif,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"in":       KwIn,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"pass":     KwPass,
+	"and":      KwAnd,
+	"or":       KwOr,
+	"not":      KwNot,
+	"True":     KwTrue,
+	"False":    KwFalse,
+	"None":     KwNone,
+	"class":    KwClass,
+	"global":   KwGlobal,
+	"nonlocal": KwNonlocal,
+	"del":      KwDel,
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for Ident/IntTok/FloatTok; decoded value for StrTok
+	Line int    // 1-based line number
+	Col  int    // 1-based column of the first character
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntTok, FloatTok:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Text)
+	case StrTok:
+		return fmt.Sprintf("STR(%q)", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minipy: syntax error at line %d col %d: %s", e.Line, e.Col, e.Msg)
+}

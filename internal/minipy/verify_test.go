@@ -1,0 +1,169 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+)
+
+func verifySrc(t *testing.T, src string) error {
+	t.Helper()
+	code, err := CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return Verify(code)
+}
+
+func TestVerifyAcceptsCompilerOutput(t *testing.T) {
+	programs := []string{
+		"x = 1",
+		"print(1 + 2 * 3)",
+		"for i in range(10):\n    if i % 2:\n        continue\n    print(i)",
+		"while True:\n    break",
+		"a, b = 1, 2\na, b = b, a",
+		"d = {1: 'a', 2: 'b'}\ndel d[1]\nprint(d.get(2))",
+		"x = [1, 2, 3][1:]",
+		`
+def outer(n):
+    def inner(x):
+        return x + n
+    return inner
+print(outer(1)(2))
+`,
+		`
+class A:
+    K = 1
+    def m(self):
+        return self.v if self.v > 0 else -self.v
+`,
+		`
+def f(a, b, c):
+    a += 1
+    b[0] += 2
+    return a and b or c
+`,
+		"x = 1 if True else 2",
+		"s = 0\nfor a, b in [(1, 2)]:\n    s += a * b",
+	}
+	for _, src := range programs {
+		if err := verifySrc(t, src); err != nil {
+			t.Errorf("verifier rejected valid compiler output: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestVerifyRejectsCorruptArgs(t *testing.T) {
+	base := func() *Code {
+		code, err := CompileSource("x = 1\ny = x + 2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return code
+	}
+	corruptions := []struct {
+		name   string
+		mutate func(*Code)
+	}{
+		{"const-index", func(c *Code) { c.Ops[0].Arg = 99 }},
+		{"jump-out-of-range", func(c *Code) { c.Ops[0] = Instr{Op: OpJump, Arg: 1000} }},
+		{"name-index", func(c *Code) {
+			for i, in := range c.Ops {
+				if in.Op == OpStoreGlobal {
+					c.Ops[i].Arg = 42
+					return
+				}
+			}
+		}},
+		{"binary-subop", func(c *Code) { c.Ops[0] = Instr{Op: OpBinary, Arg: 99} }},
+		{"cell-index", func(c *Code) { c.Ops[0] = Instr{Op: OpLoadCell, Arg: 5} }},
+	}
+	for _, cr := range corruptions {
+		code := base()
+		cr.mutate(code)
+		if err := Verify(code); err == nil {
+			t.Errorf("%s: corrupt code passed verification", cr.name)
+		}
+	}
+}
+
+func TestVerifyRejectsStackErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Instr
+		want string
+	}{
+		{
+			"underflow-pop",
+			[]Instr{{Op: OpPop}, {Op: OpReturn}},
+			"underflow",
+		},
+		{
+			"return-empty-stack",
+			[]Instr{{Op: OpLoadConst, Arg: 0}, {Op: OpPop}, {Op: OpReturn}},
+			"RETURN with stack depth",
+		},
+		{
+			"return-deep-stack",
+			[]Instr{{Op: OpLoadConst, Arg: 0}, {Op: OpLoadConst, Arg: 0}, {Op: OpReturn}},
+			"RETURN with stack depth",
+		},
+		{
+			"fall-off-end",
+			[]Instr{{Op: OpLoadConst, Arg: 0}, {Op: OpPop}},
+			"falls off the end",
+		},
+		{
+			"inconsistent-join",
+			[]Instr{
+				{Op: OpLoadConst, Arg: 0},       // depth 1
+				{Op: OpJumpIfFalseKeep, Arg: 3}, // jump keeps (depth 1), fall pops (depth 0)
+				{Op: OpJump, Arg: 3},            // join at 3 with depth 0 vs 1
+				{Op: OpReturn},
+			},
+			"inconsistent stack depth",
+		},
+		{
+			"binary-needs-two",
+			[]Instr{{Op: OpLoadConst, Arg: 0}, {Op: OpBinary, Arg: int32(BinAdd)}, {Op: OpReturn}},
+			"underflow",
+		},
+	}
+	for _, c := range cases {
+		code := &Code{
+			Name:   c.name,
+			Consts: []Value{None},
+			Ops:    c.ops,
+			Lines:  make([]int32, len(c.ops)),
+		}
+		err := Verify(code)
+		if err == nil {
+			t.Errorf("%s: expected verification failure", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestVerifyRecursesIntoNestedCode(t *testing.T) {
+	code, err := CompileSource("def f():\n    return 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the nested function's code.
+	for _, k := range code.Consts {
+		if sub, ok := k.(*Code); ok {
+			sub.Ops[0] = Instr{Op: OpPop}
+		}
+	}
+	if err := Verify(code); err == nil {
+		t.Fatal("corrupt nested code passed verification")
+	}
+}
+
+func TestVerifyEmptyCode(t *testing.T) {
+	if err := Verify(&Code{Name: "empty"}); err == nil {
+		t.Fatal("empty code must fail verification")
+	}
+}

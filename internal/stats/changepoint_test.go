@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"testing"
+)
+
+func stepSeries(rng *RNG, lens []int, levels []float64, sigma float64) []float64 {
+	var out []float64
+	for seg, n := range lens {
+		for i := 0; i < n; i++ {
+			out = append(out, levels[seg]+sigma*rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+func TestPELTSingleStep(t *testing.T) {
+	rng := NewRNG(31)
+	xs := stepSeries(rng, []int{30, 70}, []float64{2.0, 1.0}, 0.02)
+	cps := PELT(xs, 0)
+	if len(cps) != 1 {
+		t.Fatalf("changepoints %v, want exactly one", cps)
+	}
+	if cps[0] < 27 || cps[0] > 33 {
+		t.Fatalf("changepoint at %d, want ~30", cps[0])
+	}
+}
+
+func TestPELTTwoSteps(t *testing.T) {
+	rng := NewRNG(32)
+	xs := stepSeries(rng, []int{40, 40, 40}, []float64{3, 2, 1}, 0.05)
+	cps := PELT(xs, 0)
+	if len(cps) != 2 {
+		t.Fatalf("changepoints %v, want two", cps)
+	}
+	if cps[0] < 36 || cps[0] > 44 || cps[1] < 76 || cps[1] > 84 {
+		t.Fatalf("changepoints %v, want ~40 and ~80", cps)
+	}
+}
+
+func TestPELTFlatSeriesNoChangepoints(t *testing.T) {
+	rng := NewRNG(33)
+	falsePos := 0
+	for trial := 0; trial < 50; trial++ {
+		xs := stepSeries(rng, []int{100}, []float64{1}, 0.03)
+		if len(PELT(xs, 0)) > 0 {
+			falsePos++
+		}
+	}
+	if falsePos > 5 {
+		t.Fatalf("false positives on flat series: %d/50", falsePos)
+	}
+}
+
+func TestPELTShortSeries(t *testing.T) {
+	if cps := PELT([]float64{1, 2, 3}, 0); cps != nil {
+		t.Fatalf("short series should return nil, got %v", cps)
+	}
+}
+
+func TestPELTPenaltyMonotone(t *testing.T) {
+	rng := NewRNG(34)
+	xs := stepSeries(rng, []int{25, 25, 25, 25}, []float64{4, 3, 2, 1}, 0.05)
+	low := len(PELT(xs, 0.01))
+	high := len(PELT(xs, 1e6))
+	if low < high {
+		t.Fatalf("more penalty should give fewer changepoints: %d vs %d", low, high)
+	}
+	if high != 0 {
+		t.Fatalf("huge penalty should suppress all changepoints, got %d", high)
+	}
+}
+
+func TestClassifyWarmup(t *testing.T) {
+	rng := NewRNG(35)
+	// 20 slow iterations then 80 fast — classic JIT warmup.
+	xs := stepSeries(rng, []int{20, 80}, []float64{3.0, 1.0}, 0.02)
+	res := ClassifySteadyState(xs, 0, 0, 0)
+	if res.Class != ClassWarmup {
+		t.Fatalf("class %v, want warmup (cps %v)", res.Class, res.ChangePts)
+	}
+	if res.SteadyStart < 17 || res.SteadyStart > 23 {
+		t.Fatalf("steady start %d, want ~20", res.SteadyStart)
+	}
+	if !almostEq(res.SteadyMean, 1.0, 0.05) {
+		t.Fatalf("steady mean %v", res.SteadyMean)
+	}
+}
+
+func TestClassifyFlat(t *testing.T) {
+	rng := NewRNG(36)
+	xs := stepSeries(rng, []int{100}, []float64{1}, 0.02)
+	res := ClassifySteadyState(xs, 0, 0, 0)
+	if res.Class != ClassFlat {
+		t.Fatalf("class %v, want flat", res.Class)
+	}
+	if res.SteadyStart != 0 {
+		t.Fatalf("flat series steady start %d", res.SteadyStart)
+	}
+}
+
+func TestClassifySlowdown(t *testing.T) {
+	rng := NewRNG(37)
+	xs := stepSeries(rng, []int{30, 70}, []float64{1.0, 1.5}, 0.02)
+	res := ClassifySteadyState(xs, 0, 0, 0)
+	if res.Class != ClassSlowdown {
+		t.Fatalf("class %v, want slowdown", res.Class)
+	}
+}
+
+func TestClassifyNoSteadyState(t *testing.T) {
+	rng := NewRNG(38)
+	// A level shift arriving in the last 10% of the series: the tail is too
+	// short to call steady.
+	xs := stepSeries(rng, []int{92, 8}, []float64{1.0, 3.0}, 0.02)
+	res := ClassifySteadyState(xs, 0, 0.25, 0)
+	if res.Class != ClassNoSteadyState {
+		t.Fatalf("class %v, want no steady state (cps %v)", res.Class, res.ChangePts)
+	}
+}
+
+func TestClassifyEquivalentSegmentsAreFlat(t *testing.T) {
+	rng := NewRNG(39)
+	// A detectable but tiny (<2%) level change should classify as flat.
+	xs := stepSeries(rng, []int{50, 50}, []float64{1.000, 1.004}, 0.0005)
+	res := ClassifySteadyState(xs, 0, 0, 0.02)
+	if res.Class != ClassFlat {
+		t.Fatalf("class %v, want flat under the 2%% tolerance (cps %v)", res.Class, res.ChangePts)
+	}
+}
+
+func TestRobustNoiseVarianceIgnoresLevelShifts(t *testing.T) {
+	rng := NewRNG(40)
+	flat := stepSeries(rng, []int{200}, []float64{1}, 0.01)
+	stepped := stepSeries(rng, []int{100, 100}, []float64{1, 2}, 0.01)
+	vFlat := robustNoiseVariance(flat)
+	vStep := robustNoiseVariance(stepped)
+	// The step inflates ordinary variance by ~0.25 but the robust estimate
+	// should stay near 1e-4.
+	if vStep > 3*vFlat {
+		t.Fatalf("robust variance inflated by level shift: flat %v vs stepped %v", vFlat, vStep)
+	}
+}
+
+func TestPELTWarmupPlusSpikes(t *testing.T) {
+	rng := NewRNG(41)
+	xs := stepSeries(rng, []int{15, 85}, []float64{2.0, 1.0}, 0.01)
+	// Inject occasional spikes like real interference.
+	for i := 20; i < len(xs); i += 17 {
+		xs[i] *= 1.2
+	}
+	res := ClassifySteadyState(xs, 0, 0, 0)
+	if res.Class != ClassWarmup {
+		t.Fatalf("spikes broke warmup detection: %v (cps %v)", res.Class, res.ChangePts)
+	}
+}
+
+func TestDespike(t *testing.T) {
+	rng := NewRNG(42)
+	xs := stepSeries(rng, []int{50, 50}, []float64{2, 1}, 0.01)
+	dirty := make([]float64, len(xs))
+	copy(dirty, xs)
+	dirty[10] *= 1.5
+	dirty[60] *= 1.5
+	clean := Despike(dirty, 0, 0)
+	if clean[10] > 2.2 || clean[60] > 1.2 {
+		t.Fatalf("spikes survive despiking: %v %v", clean[10], clean[60])
+	}
+	// The genuine level shift must survive.
+	if Mean(clean[:50]) < 1.8 || Mean(clean[50:]) > 1.2 {
+		t.Fatal("despike destroyed the level shift")
+	}
+	// Inliers untouched.
+	if clean[30] != dirty[30] {
+		t.Fatal("despike modified an inlier")
+	}
+}
+
+func TestClassifyOneIterationWarmup(t *testing.T) {
+	rng := NewRNG(43)
+	// A single slow first iteration (fast JIT warmup): despiking smooths it
+	// away, but it must still classify as warmup with steady start 1.
+	xs := stepSeries(rng, []int{1, 59}, []float64{3.5, 1.0}, 0.01)
+	res := ClassifySteadyState(xs, 0, 0, 0)
+	if res.Class != ClassWarmup {
+		t.Fatalf("class %v, want warmup for a leading transient", res.Class)
+	}
+	if res.SteadyStart != 1 {
+		t.Fatalf("steady start %d, want 1", res.SteadyStart)
+	}
+}
+
+func TestClassifyThreeIterationWarmup(t *testing.T) {
+	rng := NewRNG(44)
+	xs := stepSeries(rng, []int{3, 57}, []float64{2.0, 1.0}, 0.01)
+	res := ClassifySteadyState(xs, 0, 0, 0)
+	if res.Class != ClassWarmup {
+		t.Fatalf("class %v, want warmup", res.Class)
+	}
+	if res.SteadyStart < 2 || res.SteadyStart > 4 {
+		t.Fatalf("steady start %d, want ~3", res.SteadyStart)
+	}
+}
+
+func TestLeadingTransientCap(t *testing.T) {
+	// A series elevated for half its length is a level shift, not a leading
+	// transient; the cap leaves it to changepoint analysis (warmup anyway).
+	rng := NewRNG(45)
+	xs := stepSeries(rng, []int{30, 30}, []float64{2.0, 1.0}, 0.01)
+	res := ClassifySteadyState(xs, 0, 0, 0)
+	if res.Class != ClassWarmup {
+		t.Fatalf("class %v", res.Class)
+	}
+	if res.SteadyStart < 27 || res.SteadyStart > 33 {
+		t.Fatalf("steady start %d, want ~30 from PELT", res.SteadyStart)
+	}
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance; NaN for n < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	// Welford's algorithm for numerical stability.
+	mean, m2 := 0.0, 0.0
+	for i, x := range xs {
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+	}
+	return m2 / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoV returns the coefficient of variation (stddev / mean).
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest element; NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics (R type-7, the numpy default).
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted computes a type-7 quantile on already-sorted data.
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return s[n-1]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MAD returns the median absolute deviation (unscaled).
+func MAD(xs []float64) float64 {
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// GeoMean returns the geometric mean of positive values; NaN if any value is
+// non-positive or the input is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Summary holds the standard descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	CoV    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary in one pass over a sorted copy.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{Mean: nan, Std: nan, CoV: nan, Min: nan, P25: nan,
+			Median: nan, P75: nan, P95: nan, Max: nan}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	m := Mean(xs)
+	sd := StdDev(xs)
+	cov := math.NaN()
+	if m != 0 {
+		cov = sd / m
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   m,
+		Std:    sd,
+		CoV:    cov,
+		Min:    s[0],
+		P25:    quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		P75:    quantileSorted(s, 0.75),
+		P95:    quantileSorted(s, 0.95),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation coefficient.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		den += (xs[i] - m) * (xs[i] - m)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}

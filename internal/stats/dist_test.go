@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalCDFKnown(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+		{-2.326347874, 0.01},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEq(got, c.want, 1e-8) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileKnown(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963985},
+		{0.025, -1.959963985},
+		{0.99, 2.326347874},
+		{0.001, -3.090232306},
+		{0.9999, 3.719016485},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !almostEq(got, c.want, 1e-6) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles must be infinite")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.013 {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); !almostEq(got, p, 1e-7) {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestStudentTCDFKnown(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		tval, df, want float64
+	}{
+		{0, 5, 0.5},
+		{2.570582, 5, 0.975}, // t_{0.975,5}
+		{-2.570582, 5, 0.025},
+		{1.812461, 10, 0.95},   // t_{0.95,10}
+		{2.085963, 20, 0.975},  // t_{0.975,20}
+		{1.959964, 1e6, 0.975}, // converges to normal
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.tval, c.df); !almostEq(got, c.want, 1e-5) {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.tval, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileKnown(t *testing.T) {
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 1, 12.7062},
+		{0.975, 2, 4.30265},
+		{0.975, 5, 2.57058},
+		{0.975, 10, 2.22814},
+		{0.975, 30, 2.04227},
+		{0.95, 10, 1.81246},
+		{0.995, 10, 3.16927},
+		{0.5, 7, 0},
+	}
+	for _, c := range cases {
+		if got := StudentTQuantile(c.p, c.df); !almostEq(got, c.want, 1e-4) {
+			t.Errorf("StudentTQuantile(%v, %v) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 3, 7, 29} {
+		for _, p := range []float64{0.6, 0.8, 0.95, 0.99} {
+			hi := StudentTQuantile(p, df)
+			lo := StudentTQuantile(1-p, df)
+			if !almostEq(hi, -lo, 1e-8) {
+				t.Fatalf("asymmetry at df=%v p=%v: %v vs %v", df, p, hi, lo)
+			}
+		}
+	}
+}
+
+func TestStudentTQuantileEdges(t *testing.T) {
+	if !math.IsInf(StudentTQuantile(0, 5), -1) || !math.IsInf(StudentTQuantile(1, 5), 1) {
+		t.Error("boundary quantiles must be infinite")
+	}
+	if !math.IsNaN(StudentTQuantile(0.5, 0)) {
+		t.Error("df <= 0 must be NaN")
+	}
+}
+
+func TestIncompleteBetaEdges(t *testing.T) {
+	if incompleteBeta(2, 3, 0) != 0 || incompleteBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta boundaries")
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.35, 0.5, 0.9} {
+		if got := incompleteBeta(1, 1, x); !almostEq(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		l := incompleteBeta(2.5, 4, x)
+		r := 1 - incompleteBeta(4, 2.5, 1-x)
+		if !almostEq(l, r, 1e-10) {
+			t.Errorf("beta symmetry broken at %v: %v vs %v", x, l, r)
+		}
+	}
+}

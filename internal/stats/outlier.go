@@ -1,0 +1,61 @@
+package stats
+
+import "sort"
+
+// TukeyFences returns the [lo, hi] inlier range Q1−k·IQR .. Q3+k·IQR.
+// k = 1.5 marks standard outliers, k = 3 extreme ones.
+func TukeyFences(xs []float64, k float64) (lo, hi float64) {
+	q1 := Quantile(xs, 0.25)
+	q3 := Quantile(xs, 0.75)
+	iqr := q3 - q1
+	return q1 - k*iqr, q3 + k*iqr
+}
+
+// Outliers returns the indices of points outside the Tukey fences.
+func Outliers(xs []float64, k float64) []int {
+	lo, hi := TukeyFences(xs, k)
+	var out []int
+	for i, x := range xs {
+		if x < lo || x > hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RemoveOutliers returns a copy of xs without Tukey outliers.
+func RemoveOutliers(xs []float64, k float64) []float64 {
+	lo, hi := TukeyFences(xs, k)
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x >= lo && x <= hi {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Winsorize returns a copy of xs with values below the p-quantile and above
+// the (1-p)-quantile clamped to those quantiles.
+func Winsorize(xs []float64, p float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	lo := quantileSorted(s, p)
+	hi := quantileSorted(s, 1-p)
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		switch {
+		case x < lo:
+			out[i] = lo
+		case x > hi:
+			out[i] = hi
+		default:
+			out[i] = x
+		}
+	}
+	return out
+}

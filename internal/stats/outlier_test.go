@@ -1,0 +1,62 @@
+package stats
+
+import "testing"
+
+func TestTukeyFences(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8} // Q1=2.75, Q3=6.25, IQR=3.5
+	lo, hi := TukeyFences(xs, 1.5)
+	if !almostEq(lo, 2.75-5.25, 1e-9) || !almostEq(hi, 6.25+5.25, 1e-9) {
+		t.Fatalf("fences [%v, %v]", lo, hi)
+	}
+}
+
+func TestOutliersDetection(t *testing.T) {
+	xs := []float64{10, 11, 9, 10, 12, 10, 11, 9, 100, 10, -50}
+	idx := Outliers(xs, 1.5)
+	if len(idx) != 2 {
+		t.Fatalf("outlier indices %v, want two", idx)
+	}
+	found := map[int]bool{}
+	for _, i := range idx {
+		found[i] = true
+	}
+	if !found[8] || !found[10] {
+		t.Fatalf("outlier indices %v, want {8, 10}", idx)
+	}
+}
+
+func TestRemoveOutliers(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 1, 1, 1, 1000}
+	clean := RemoveOutliers(xs, 1.5)
+	if len(clean) != 7 {
+		t.Fatalf("cleaned %v", clean)
+	}
+	for _, v := range clean {
+		if v != 1 {
+			t.Fatalf("cleaned %v", clean)
+		}
+	}
+	// No outliers: everything kept.
+	all := RemoveOutliers([]float64{1, 2, 3}, 1.5)
+	if len(all) != 3 {
+		t.Fatalf("no-outlier input shrank: %v", all)
+	}
+}
+
+func TestWinsorize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000}
+	w := Winsorize(xs, 0.1)
+	if Max(w) >= 1000 {
+		t.Fatalf("winsorize did not clamp the top: %v", w)
+	}
+	if len(w) != len(xs) {
+		t.Fatal("winsorize must preserve length")
+	}
+	// Order preserved for untouched middle values.
+	if w[2] != 3 || w[3] != 4 {
+		t.Fatalf("winsorize disturbed inliers: %v", w)
+	}
+	if Winsorize(nil, 0.1) != nil {
+		t.Fatal("empty input")
+	}
+}

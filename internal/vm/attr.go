@@ -1,0 +1,345 @@
+package vm
+
+import (
+	"strings"
+
+	"repro/internal/minipy"
+)
+
+// builtinMethod is a method bound to a builtin-type receiver (list.append,
+// dict.get, str.split, ...).
+type builtinMethod struct {
+	name string
+	recv minipy.Value
+	fn   func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error)
+}
+
+func (*builtinMethod) TypeName() string { return "builtin_function_or_method" }
+func (m *builtinMethod) Truth() bool    { return true }
+func (m *builtinMethod) Repr() string   { return "<built-in method " + m.name + ">" }
+
+// getAttr implements LOAD_ATTR for every attribute-bearing type.
+func (in *Interp) getAttr(target minipy.Value, name string) (minipy.Value, error) {
+	switch t := target.(type) {
+	case *minipy.Instance:
+		in.memAccess(t.Addr+nameHash(name)%16*8, false)
+		if v, ok := t.Fields[name]; ok {
+			return v, nil
+		}
+		if v, ok := t.Class.Lookup(name); ok {
+			if fn, ok := v.(*minipy.Function); ok {
+				return &minipy.BoundMethod{Recv: t, Fn: fn}, nil
+			}
+			return v, nil
+		}
+		return nil, attrErr("'%s' object has no attribute '%s'", t.Class.Name, name)
+	case *minipy.Class:
+		if v, ok := t.Lookup(name); ok {
+			return v, nil
+		}
+		return nil, attrErr("type object '%s' has no attribute '%s'", t.Name, name)
+	case *minipy.List:
+		if m, ok := listMethods[name]; ok {
+			return &builtinMethod{name: name, recv: t, fn: m}, nil
+		}
+	case *minipy.Dict:
+		if m, ok := dictMethods[name]; ok {
+			return &builtinMethod{name: name, recv: t, fn: m}, nil
+		}
+	case minipy.Str:
+		if m, ok := strMethods[name]; ok {
+			return &builtinMethod{name: name, recv: t, fn: m}, nil
+		}
+	}
+	return nil, attrErr("'%s' object has no attribute '%s'", target.TypeName(), name)
+}
+
+// setAttr implements STORE_ATTR.
+func (in *Interp) setAttr(target minipy.Value, name string, value minipy.Value) error {
+	switch t := target.(type) {
+	case *minipy.Instance:
+		in.memAccess(t.Addr+nameHash(name)%16*8, true)
+		t.Fields[name] = value
+		return nil
+	case *minipy.Class:
+		t.Methods[name] = value
+		return nil
+	}
+	return attrErr("'%s' object attributes are read-only", target.TypeName())
+}
+
+// ---- list methods ----
+
+var listMethods = map[string]func(*Interp, minipy.Value, []minipy.Value) (minipy.Value, error){
+	"append": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 1 {
+			return nil, typeErr("append() takes exactly one argument (%d given)", len(args))
+		}
+		in.memAccess(l.Addr+uint64(len(l.Items))*8, true)
+		l.Items = append(l.Items, args[0])
+		return minipy.None, nil
+	},
+	"pop": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(l.Items) == 0 {
+			return nil, indexErr("pop from empty list")
+		}
+		i := len(l.Items) - 1
+		if len(args) == 1 {
+			var err error
+			i, err = seqIndex(args[0], len(l.Items))
+			if err != nil {
+				return nil, err
+			}
+		} else if len(args) > 1 {
+			return nil, typeErr("pop() takes at most 1 argument (%d given)", len(args))
+		}
+		v := l.Items[i]
+		l.Items = append(l.Items[:i], l.Items[i+1:]...)
+		return v, nil
+	},
+	"extend": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 1 {
+			return nil, typeErr("extend() takes exactly one argument (%d given)", len(args))
+		}
+		it, err := in.getIter(args[0])
+		if err != nil {
+			return nil, err
+		}
+		for {
+			v, ok := it.next()
+			if !ok {
+				break
+			}
+			l.Items = append(l.Items, v)
+		}
+		return minipy.None, nil
+	},
+	"insert": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 2 {
+			return nil, typeErr("insert() takes exactly 2 arguments (%d given)", len(args))
+		}
+		n, ok := args[0].(minipy.Int)
+		if !ok {
+			return nil, typeErr("insert index must be int")
+		}
+		i := clampIndex(int(n), len(l.Items))
+		l.Items = append(l.Items, nil)
+		copy(l.Items[i+1:], l.Items[i:])
+		l.Items[i] = args[1]
+		return minipy.None, nil
+	},
+	"remove": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 1 {
+			return nil, typeErr("remove() takes exactly one argument (%d given)", len(args))
+		}
+		for i, v := range l.Items {
+			if minipy.ValueEqual(v, args[0]) {
+				l.Items = append(l.Items[:i], l.Items[i+1:]...)
+				return minipy.None, nil
+			}
+		}
+		return nil, valueErr("list.remove(x): x not in list")
+	},
+	"index": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 1 {
+			return nil, typeErr("index() takes exactly one argument (%d given)", len(args))
+		}
+		for i, v := range l.Items {
+			if minipy.ValueEqual(v, args[0]) {
+				return minipy.Int(i), nil
+			}
+		}
+		return nil, valueErr("%s is not in list", args[0].Repr())
+	},
+	"count": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 1 {
+			return nil, typeErr("count() takes exactly one argument (%d given)", len(args))
+		}
+		n := 0
+		for _, v := range l.Items {
+			if minipy.ValueEqual(v, args[0]) {
+				n++
+			}
+		}
+		return minipy.Int(n), nil
+	},
+	"reverse": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 0 {
+			return nil, typeErr("reverse() takes no arguments (%d given)", len(args))
+		}
+		for i, j := 0, len(l.Items)-1; i < j; i, j = i+1, j-1 {
+			l.Items[i], l.Items[j] = l.Items[j], l.Items[i]
+		}
+		return minipy.None, nil
+	},
+	"sort": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		l := recv.(*minipy.List)
+		if len(args) != 0 {
+			return nil, typeErr("sort() takes no arguments (%d given)", len(args))
+		}
+		if err := minipy.SortValues(l.Items); err != nil {
+			return nil, typeErr("%s", err.Error())
+		}
+		return minipy.None, nil
+	},
+}
+
+// ---- dict methods ----
+
+var dictMethods = map[string]func(*Interp, minipy.Value, []minipy.Value) (minipy.Value, error){
+	"get": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		d := recv.(*minipy.Dict)
+		if len(args) < 1 || len(args) > 2 {
+			return nil, typeErr("get() takes 1 or 2 arguments (%d given)", len(args))
+		}
+		k, err := minipy.MakeKey(args[0])
+		if err != nil {
+			return nil, typeErr("%s", err.Error())
+		}
+		in.memAccess(d.Addr+keyOffset(k), false)
+		if v, ok := d.Get(k); ok {
+			return v, nil
+		}
+		if len(args) == 2 {
+			return args[1], nil
+		}
+		return minipy.None, nil
+	},
+	"pop": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		d := recv.(*minipy.Dict)
+		if len(args) < 1 || len(args) > 2 {
+			return nil, typeErr("pop() takes 1 or 2 arguments (%d given)", len(args))
+		}
+		k, err := minipy.MakeKey(args[0])
+		if err != nil {
+			return nil, typeErr("%s", err.Error())
+		}
+		if v, ok := d.Get(k); ok {
+			d.Delete(k)
+			return v, nil
+		}
+		if len(args) == 2 {
+			return args[1], nil
+		}
+		return nil, keyErr("%s", args[0].Repr())
+	},
+	"keys": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		d := recv.(*minipy.Dict)
+		return in.newList(d.Keys()), nil
+	},
+	"values": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		d := recv.(*minipy.Dict)
+		return in.newList(d.Values()), nil
+	},
+	"items": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		d := recv.(*minipy.Dict)
+		out := make([]minipy.Value, 0, d.Len())
+		for _, e := range d.Entry {
+			if e.Dead {
+				continue
+			}
+			out = append(out, in.newTuple([]minipy.Value{e.KeyV, e.V}))
+		}
+		return in.newList(out), nil
+	},
+}
+
+// ---- str methods ----
+
+var strMethods = map[string]func(*Interp, minipy.Value, []minipy.Value) (minipy.Value, error){
+	"split": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		s := string(recv.(minipy.Str))
+		var parts []string
+		if len(args) == 0 {
+			parts = strings.Fields(s)
+		} else {
+			sep, ok := args[0].(minipy.Str)
+			if !ok {
+				return nil, typeErr("split separator must be str")
+			}
+			parts = strings.Split(s, string(sep))
+		}
+		items := make([]minipy.Value, len(parts))
+		for i, p := range parts {
+			items[i] = minipy.Str(p)
+		}
+		return in.newList(items), nil
+	},
+	"join": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		sep := string(recv.(minipy.Str))
+		if len(args) != 1 {
+			return nil, typeErr("join() takes exactly one argument (%d given)", len(args))
+		}
+		l, ok := args[0].(*minipy.List)
+		if !ok {
+			return nil, typeErr("join() argument must be a list of str")
+		}
+		parts := make([]string, len(l.Items))
+		for i, v := range l.Items {
+			sv, ok := v.(minipy.Str)
+			if !ok {
+				return nil, typeErr("sequence item %d: expected str, %s found", i, v.TypeName())
+			}
+			parts[i] = string(sv)
+		}
+		return minipy.Str(strings.Join(parts, sep)), nil
+	},
+	"upper": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		return minipy.Str(strings.ToUpper(string(recv.(minipy.Str)))), nil
+	},
+	"lower": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		return minipy.Str(strings.ToLower(string(recv.(minipy.Str)))), nil
+	},
+	"strip": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		return minipy.Str(strings.TrimSpace(string(recv.(minipy.Str)))), nil
+	},
+	"replace": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		if len(args) != 2 {
+			return nil, typeErr("replace() takes exactly 2 arguments (%d given)", len(args))
+		}
+		old, ok1 := args[0].(minipy.Str)
+		new_, ok2 := args[1].(minipy.Str)
+		if !ok1 || !ok2 {
+			return nil, typeErr("replace() arguments must be str")
+		}
+		return minipy.Str(strings.ReplaceAll(string(recv.(minipy.Str)), string(old), string(new_))), nil
+	},
+	"find": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		if len(args) != 1 {
+			return nil, typeErr("find() takes exactly one argument (%d given)", len(args))
+		}
+		sub, ok := args[0].(minipy.Str)
+		if !ok {
+			return nil, typeErr("find() argument must be str")
+		}
+		return minipy.Int(strings.Index(string(recv.(minipy.Str)), string(sub))), nil
+	},
+	"startswith": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		if len(args) != 1 {
+			return nil, typeErr("startswith() takes exactly one argument (%d given)", len(args))
+		}
+		prefix, ok := args[0].(minipy.Str)
+		if !ok {
+			return nil, typeErr("startswith() argument must be str")
+		}
+		return minipy.Bool(strings.HasPrefix(string(recv.(minipy.Str)), string(prefix))), nil
+	},
+	"endswith": func(in *Interp, recv minipy.Value, args []minipy.Value) (minipy.Value, error) {
+		if len(args) != 1 {
+			return nil, typeErr("endswith() takes exactly one argument (%d given)", len(args))
+		}
+		suffix, ok := args[0].(minipy.Str)
+		if !ok {
+			return nil, typeErr("endswith() argument must be str")
+		}
+		return minipy.Bool(strings.HasSuffix(string(recv.(minipy.Str)), string(suffix))), nil
+	},
+}

@@ -1,0 +1,478 @@
+package vm
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/minipy"
+)
+
+// builtinFunc is a global builtin function value.
+type builtinFunc struct {
+	name string
+	fn   func(in *Interp, args []minipy.Value) (minipy.Value, error)
+}
+
+func (*builtinFunc) TypeName() string { return "builtin_function_or_method" }
+func (f *builtinFunc) Truth() bool    { return true }
+func (f *builtinFunc) Repr() string   { return "<built-in function " + f.name + ">" }
+
+func bf(name string, fn func(in *Interp, args []minipy.Value) (minipy.Value, error)) minipy.Value {
+	return &builtinFunc{name: name, fn: fn}
+}
+
+func wantArgs(name string, args []minipy.Value, lo, hi int) error {
+	if len(args) < lo || len(args) > hi {
+		if lo == hi {
+			return typeErr("%s() takes exactly %d argument(s) (%d given)", name, lo, len(args))
+		}
+		return typeErr("%s() takes %d to %d arguments (%d given)", name, lo, hi, len(args))
+	}
+	return nil
+}
+
+func asInt(name string, v minipy.Value) (int64, error) {
+	switch v := v.(type) {
+	case minipy.Int:
+		return int64(v), nil
+	case minipy.Bool:
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, typeErr("%s() argument must be int, not %s", name, v.TypeName())
+}
+
+func asFloatArg(name string, v minipy.Value) (float64, error) {
+	f, ok := toFloat(v)
+	if !ok {
+		return 0, typeErr("%s() argument must be a number, not %s", name, v.TypeName())
+	}
+	return f, nil
+}
+
+// builtinTable constructs the global builtin namespace. A fresh map per
+// invocation keeps invocations fully isolated.
+func builtinTable() map[string]minipy.Value {
+	b := map[string]minipy.Value{}
+
+	b["print"] = bf("print", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		var sb strings.Builder
+		for i, a := range args {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(minipy.ToStr(a))
+		}
+		sb.WriteByte('\n')
+		if _, err := in.out.Write([]byte(sb.String())); err != nil {
+			return nil, &RuntimeError{Kind: "OSError", Msg: err.Error()}
+		}
+		return minipy.None, nil
+	})
+
+	b["range"] = bf("range", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("range", args, 1, 3); err != nil {
+			return nil, err
+		}
+		var start, stop, step int64 = 0, 0, 1
+		var err error
+		switch len(args) {
+		case 1:
+			stop, err = asInt("range", args[0])
+		case 2:
+			if start, err = asInt("range", args[0]); err == nil {
+				stop, err = asInt("range", args[1])
+			}
+		case 3:
+			if start, err = asInt("range", args[0]); err == nil {
+				if stop, err = asInt("range", args[1]); err == nil {
+					step, err = asInt("range", args[2])
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if step == 0 {
+			return nil, valueErr("range() arg 3 must not be zero")
+		}
+		return &minipy.RangeVal{Start: start, Stop: stop, Step: step}, nil
+	})
+
+	b["len"] = bf("len", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("len", args, 1, 1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case *minipy.List:
+			return minipy.Int(len(v.Items)), nil
+		case *minipy.Tuple:
+			return minipy.Int(len(v.Items)), nil
+		case minipy.Str:
+			return minipy.Int(len(v)), nil
+		case *minipy.Dict:
+			return minipy.Int(v.Len()), nil
+		case *minipy.RangeVal:
+			return minipy.Int(v.Len()), nil
+		}
+		return nil, typeErr("object of type '%s' has no len()", args[0].TypeName())
+	})
+
+	b["abs"] = bf("abs", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("abs", args, 1, 1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case minipy.Int:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		case minipy.Float:
+			return minipy.Float(math.Abs(float64(v))), nil
+		}
+		return nil, typeErr("bad operand type for abs(): '%s'", args[0].TypeName())
+	})
+
+	minmax := func(name string, wantMax bool) minipy.Value {
+		return bf(name, func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+			var items []minipy.Value
+			switch {
+			case len(args) == 0:
+				return nil, typeErr("%s expected at least 1 argument, got 0", name)
+			case len(args) == 1:
+				it, err := in.getIter(args[0])
+				if err != nil {
+					return nil, err
+				}
+				for {
+					v, ok := it.next()
+					if !ok {
+						break
+					}
+					items = append(items, v)
+				}
+				if len(items) == 0 {
+					return nil, valueErr("%s() arg is an empty sequence", name)
+				}
+			default:
+				items = args
+			}
+			best := items[0]
+			for _, v := range items[1:] {
+				lt, err := minipy.ValueLess(best, v)
+				if err != nil {
+					return nil, typeErr("%s", err.Error())
+				}
+				if lt == wantMax {
+					best = v
+				}
+			}
+			return best, nil
+		})
+	}
+	b["min"] = minmax("min", false)
+	b["max"] = minmax("max", true)
+
+	b["sum"] = bf("sum", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("sum", args, 1, 2); err != nil {
+			return nil, err
+		}
+		it, err := in.getIter(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var acc minipy.Value = minipy.Int(0)
+		if len(args) == 2 {
+			acc = args[1]
+		}
+		for {
+			v, ok := it.next()
+			if !ok {
+				break
+			}
+			acc, err = in.binary(minipy.BinAdd, acc, v)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	})
+
+	b["str"] = bf("str", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("str", args, 0, 1); err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return minipy.Str(""), nil
+		}
+		return minipy.Str(minipy.ToStr(args[0])), nil
+	})
+
+	b["repr"] = bf("repr", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("repr", args, 1, 1); err != nil {
+			return nil, err
+		}
+		return minipy.Str(args[0].Repr()), nil
+	})
+
+	b["int"] = bf("int", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("int", args, 0, 1); err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return minipy.Int(0), nil
+		}
+		switch v := args[0].(type) {
+		case minipy.Int:
+			return v, nil
+		case minipy.Bool:
+			if v {
+				return minipy.Int(1), nil
+			}
+			return minipy.Int(0), nil
+		case minipy.Float:
+			return minipy.Int(int64(v)), nil // truncation toward zero
+		case minipy.Str:
+			n, err := strconv.ParseInt(strings.TrimSpace(string(v)), 10, 64)
+			if err != nil {
+				return nil, valueErr("invalid literal for int(): %s", v.Repr())
+			}
+			return minipy.Int(n), nil
+		}
+		return nil, typeErr("int() argument must be a string or a number, not '%s'", args[0].TypeName())
+	})
+
+	b["float"] = bf("float", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("float", args, 0, 1); err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return minipy.Float(0), nil
+		}
+		if s, ok := args[0].(minipy.Str); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(string(s)), 64)
+			if err != nil {
+				return nil, valueErr("could not convert string to float: %s", s.Repr())
+			}
+			return minipy.Float(f), nil
+		}
+		f, err := asFloatArg("float", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return minipy.Float(f), nil
+	})
+
+	b["bool"] = bf("bool", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("bool", args, 0, 1); err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return minipy.Bool(false), nil
+		}
+		return minipy.Bool(args[0].Truth()), nil
+	})
+
+	b["list"] = bf("list", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("list", args, 0, 1); err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return in.newList(nil), nil
+		}
+		it, err := in.getIter(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var items []minipy.Value
+		for {
+			v, ok := it.next()
+			if !ok {
+				break
+			}
+			items = append(items, v)
+		}
+		return in.newList(items), nil
+	})
+
+	b["tuple"] = bf("tuple", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("tuple", args, 0, 1); err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return in.newTuple(nil), nil
+		}
+		it, err := in.getIter(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var items []minipy.Value
+		for {
+			v, ok := it.next()
+			if !ok {
+				break
+			}
+			items = append(items, v)
+		}
+		return in.newTuple(items), nil
+	})
+
+	b["dict"] = bf("dict", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("dict", args, 0, 0); err != nil {
+			return nil, err
+		}
+		return in.newDict(), nil
+	})
+
+	b["sorted"] = bf("sorted", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("sorted", args, 1, 1); err != nil {
+			return nil, err
+		}
+		it, err := in.getIter(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var items []minipy.Value
+		for {
+			v, ok := it.next()
+			if !ok {
+				break
+			}
+			items = append(items, v)
+		}
+		if err := minipy.SortValues(items); err != nil {
+			return nil, typeErr("%s", err.Error())
+		}
+		return in.newList(items), nil
+	})
+
+	b["chr"] = bf("chr", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("chr", args, 1, 1); err != nil {
+			return nil, err
+		}
+		n, err := asInt("chr", args[0])
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > 255 {
+			return nil, valueErr("chr() arg not in range(256) (MiniPy strings are byte strings)")
+		}
+		return minipy.Str(string([]byte{byte(n)})), nil
+	})
+
+	b["ord"] = bf("ord", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("ord", args, 1, 1); err != nil {
+			return nil, err
+		}
+		s, ok := args[0].(minipy.Str)
+		if !ok || len(s) != 1 {
+			return nil, typeErr("ord() expected a character")
+		}
+		return minipy.Int(s[0]), nil
+	})
+
+	b["isinstance"] = bf("isinstance", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("isinstance", args, 2, 2); err != nil {
+			return nil, err
+		}
+		cls, ok := args[1].(*minipy.Class)
+		if !ok {
+			return nil, typeErr("isinstance() arg 2 must be a class")
+		}
+		inst, ok := args[0].(*minipy.Instance)
+		if !ok {
+			return minipy.Bool(false), nil
+		}
+		return minipy.Bool(inst.Class.IsSubclassOf(cls)), nil
+	})
+
+	b["pow"] = bf("pow", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("pow", args, 2, 2); err != nil {
+			return nil, err
+		}
+		return in.binary(minipy.BinPow, args[0], args[1])
+	})
+
+	mathFn := func(name string, f func(float64) float64) minipy.Value {
+		return bf(name, func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+			if err := wantArgs(name, args, 1, 1); err != nil {
+				return nil, err
+			}
+			x, err := asFloatArg(name, args[0])
+			if err != nil {
+				return nil, err
+			}
+			return minipy.Float(f(x)), nil
+		})
+	}
+	b["sqrt"] = mathFn("sqrt", math.Sqrt)
+	b["sin"] = mathFn("sin", math.Sin)
+	b["cos"] = mathFn("cos", math.Cos)
+	b["tan"] = mathFn("tan", math.Tan)
+	b["exp"] = mathFn("exp", math.Exp)
+	b["log"] = mathFn("log", math.Log)
+	b["atan2"] = bf("atan2", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("atan2", args, 2, 2); err != nil {
+			return nil, err
+		}
+		y, err := asFloatArg("atan2", args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := asFloatArg("atan2", args[1])
+		if err != nil {
+			return nil, err
+		}
+		return minipy.Float(math.Atan2(y, x)), nil
+	})
+
+	b["floor"] = bf("floor", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("floor", args, 1, 1); err != nil {
+			return nil, err
+		}
+		x, err := asFloatArg("floor", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return minipy.Int(int64(math.Floor(x))), nil
+	})
+
+	b["ceil"] = bf("ceil", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("ceil", args, 1, 1); err != nil {
+			return nil, err
+		}
+		x, err := asFloatArg("ceil", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return minipy.Int(int64(math.Ceil(x))), nil
+	})
+
+	b["pi"] = minipy.Float(math.Pi)
+
+	b["hash"] = bf("hash", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("hash", args, 1, 1); err != nil {
+			return nil, err
+		}
+		k, err := minipy.MakeKey(args[0])
+		if err != nil {
+			return nil, typeErr("%s", err.Error())
+		}
+		return minipy.Int(int64(keyOffset(k))), nil
+	})
+
+	// type_name is a MiniPy extension used by tests and workloads to inspect
+	// dynamic types without a full type() object system.
+	b["type_name"] = bf("type_name", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
+		if err := wantArgs("type_name", args, 1, 1); err != nil {
+			return nil, err
+		}
+		return minipy.Str(args[0].TypeName()), nil
+	})
+
+	return b
+}

@@ -1,0 +1,298 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListMethods(t *testing.T) {
+	wantOut(t, "x = [1, 2, 3]\nx.extend([4, 5])\nprint(x)", "[1, 2, 3, 4, 5]\n")
+	wantOut(t, "x = [1, 3]\nx.insert(1, 2)\nprint(x)", "[1, 2, 3]\n")
+	wantOut(t, "x = [1, 2]\nx.insert(99, 3)\nprint(x)", "[1, 2, 3]\n")
+	wantOut(t, "x = [1, 2]\nx.insert(-1, 0)\nprint(x)", "[1, 0, 2]\n")
+	wantOut(t, "x = [1, 2, 3, 2]\nx.remove(2)\nprint(x)", "[1, 3, 2]\n")
+	wantOut(t, "x = [5, 6, 7]\nprint(x.index(6))", "1\n")
+	wantOut(t, "x = [1, 2, 1, 1]\nprint(x.count(1), x.count(9))", "3 0\n")
+	wantOut(t, "x = [1, 2, 3]\nx.reverse()\nprint(x)", "[3, 2, 1]\n")
+	wantOut(t, "x = ['b', 'a', 'c']\nx.sort()\nprint(x)", "['a', 'b', 'c']\n")
+	wantOut(t, "x = [(2, 'b'), (1, 'a')]\nx.sort()\nprint(x)", "[(1, 'a'), (2, 'b')]\n")
+}
+
+func TestListMethodErrors(t *testing.T) {
+	cases := []string{
+		"x = []\nx.pop()",
+		"x = [1]\nx.remove(9)",
+		"x = [1]\nx.index(9)",
+		"x = [1]\nx.nosuchmethod()",
+		"x = [1, 'a']\nx.sort()",
+	}
+	for _, src := range cases {
+		in := New(Config{})
+		if _, err := in.RunSource(src); err == nil {
+			t.Errorf("src %q: expected error", src)
+		}
+	}
+}
+
+func TestDictMethodsExtended(t *testing.T) {
+	wantOut(t, "d = {'a': 1}\nprint(d.pop('a'), len(d))", "1 0\n")
+	wantOut(t, "d = {}\nprint(d.pop('x', 'default'))", "default\n")
+	wantOut(t, "d = {'a': 1, 'b': 2}\nprint(d.items())", "[('a', 1), ('b', 2)]\n")
+	wantOut(t, `
+d = {'a': 1, 'b': 2, 'c': 3}
+total = 0
+for k, v in d.items():
+    total += v
+print(total)
+`, "6\n")
+}
+
+func TestStrMethodsExtended(t *testing.T) {
+	wantOut(t, "print('  x  '.strip())", "x\n")
+	wantOut(t, "print('a b  c'.split())", "['a', 'b', 'c']\n")
+	wantOut(t, "print('hello'.find('lo'), 'hello'.find('z'))", "3 -1\n")
+	wantOut(t, "print('abc'.endswith('bc'), 'abc'.startswith('z'))", "True False\n")
+	wantOut(t, `
+total = 0
+for ch in 'hello':
+    total += ord(ch)
+print(total)
+`, "532\n")
+}
+
+func TestTupleDictKeys(t *testing.T) {
+	wantOut(t, `
+d = {}
+d[(1, 2)] = 'a'
+d[(1, 3)] = 'b'
+print(d[(1, 2)], d[(1, 3)], len(d))
+`, "a b 2\n")
+}
+
+func TestInheritanceChains(t *testing.T) {
+	wantOut(t, `
+class A:
+    def name(self):
+        return 'A'
+    def describe(self):
+        return 'I am ' + self.name()
+class B(A):
+    pass
+class C(B):
+    def name(self):
+        return 'C'
+a = A()
+b = B()
+c = C()
+print(a.describe(), b.describe(), c.describe())
+print(isinstance(c, A), isinstance(a, C))
+`, "I am A I am A I am C\nTrue False\n")
+}
+
+func TestClassAttributeVsInstanceAttribute(t *testing.T) {
+	wantOut(t, `
+class K:
+    shared = 10
+    def __init__(self):
+        self.own = 1
+k1 = K()
+k2 = K()
+k1.own = 5
+print(k1.own, k2.own, k1.shared, k2.shared)
+k1.shared = 99
+print(k1.shared, k2.shared)
+`, "5 1 10 10\n99 10\n")
+}
+
+func TestMethodsAsFirstClassValues(t *testing.T) {
+	wantOut(t, `
+class Adder:
+    def __init__(self, n):
+        self.n = n
+    def add(self, x):
+        return x + self.n
+a = Adder(10)
+f = a.add
+print(f(5))
+`, "15\n")
+}
+
+func TestClosureSharedCell(t *testing.T) {
+	// Two closures over the same variable must see each other's writes.
+	wantOut(t, `
+def make_pair():
+    total = 0
+    def add(n):
+        nonlocal total
+        total += n
+    def get():
+        return total
+    return add, get
+add, get = make_pair()
+add(3)
+add(4)
+print(get())
+`, "7\n")
+}
+
+func TestClosureIndependentInstances(t *testing.T) {
+	wantOut(t, `
+def counter():
+    n = 0
+    def bump():
+        nonlocal n
+        n += 1
+        return n
+    return bump
+c1 = counter()
+c2 = counter()
+c1()
+c1()
+print(c1(), c2())
+`, "3 1\n")
+}
+
+func TestRecursionThroughClosure(t *testing.T) {
+	wantOut(t, `
+def make_fact():
+    def fact(n):
+        if n <= 1:
+            return 1
+        return n * fact(n - 1)
+    return fact
+f = make_fact()
+print(f(6))
+`, "720\n")
+}
+
+func TestDeepNesting(t *testing.T) {
+	wantOut(t, `
+def l1():
+    a = 1
+    def l2():
+        b = 2
+        def l3():
+            c = 3
+            def l4():
+                return a + b + c
+            return l4()
+        return l3()
+    return l2()
+print(l1())
+`, "6\n")
+}
+
+func TestSliceEdgeCases(t *testing.T) {
+	wantOut(t, "x = [0, 1, 2, 3, 4]\nprint(x[-2:], x[:-2], x[10:], x[-99:2])",
+		"[3, 4] [0, 1, 2] [] [0, 1]\n")
+	wantOut(t, "print('hello'[1:99], 'hello'[3:1])", "ello \n")
+	wantOut(t, "t = (1, 2, 3)\nprint(t[1:])", "(2, 3)\n")
+}
+
+func TestNegativeIndexing(t *testing.T) {
+	wantOut(t, "x = [10, 20, 30]\nprint(x[-1], x[-3])", "30 10\n")
+	wantOut(t, "x = [10, 20]\nx[-1] = 99\nprint(x)", "[10, 99]\n")
+}
+
+func TestDelOnListAndDict(t *testing.T) {
+	wantOut(t, "x = [1, 2, 3]\ndel x[1]\nprint(x)", "[1, 3]\n")
+	wantOut(t, "d = {'a': 1, 'b': 2}\ndel d['b']\nprint(d)", "{'a': 1}\n")
+}
+
+func TestStringConversionBuiltins(t *testing.T) {
+	wantOut(t, "print(str([1, 'a']), str((1,)), str({'k': None}))",
+		"[1, 'a'] (1,) {'k': None}\n")
+	wantOut(t, "print(repr('x'), str('x'))", "'x' x\n")
+}
+
+func TestBoolArithmetic(t *testing.T) {
+	wantOut(t, "print(True + True, True * 5, False - 1)", "2 5 -1\n")
+	wantOut(t, "print(-True, +True)", "-1 1\n")
+	wantOut(t, "x = [0] * (1 + True)\nprint(len(x))", "2\n")
+}
+
+func TestRangeVariants(t *testing.T) {
+	wantOut(t, "print(list(range(0)), list(range(3)), list(range(2, 5)))",
+		"[] [0, 1, 2] [2, 3, 4]\n")
+	wantOut(t, "print(len(range(10, 0, -3)), 4 in range(0, 10, 2), 5 in range(0, 10, 2))",
+		"4 True False\n")
+	in := New(Config{})
+	if _, err := in.RunSource("range(1, 2, 0)"); err == nil {
+		t.Fatal("zero step must error")
+	}
+}
+
+func TestSumMinMaxVariants(t *testing.T) {
+	wantOut(t, "print(sum([0.5, 0.25]), sum(range(5)), sum([1], 10))", "0.75 10 11\n")
+	wantOut(t, "print(min('banana'), max([2.5, 2]))", "a 2.5\n")
+	in := New(Config{})
+	if _, err := in.RunSource("min([])"); err == nil {
+		t.Fatal("min of empty must error")
+	}
+}
+
+func TestTernaryAndBoolOpValues(t *testing.T) {
+	wantOut(t, "x = None\nprint(x or 'fallback')", "fallback\n")
+	wantOut(t, "print([] and 'never', [1] and 'yes')", "[] yes\n")
+	wantOut(t, "print('a' if False else 'b')", "b\n")
+}
+
+func TestPrintFormatting(t *testing.T) {
+	wantOut(t, "print()", "\n")
+	wantOut(t, "print(1, 'two', 3.0, None, True)", "1 two 3.0 None True\n")
+}
+
+func TestWhileElseNotSupported(t *testing.T) {
+	// `else` on loops is not in the subset; it should be a syntax error
+	// rather than silently misparsing.
+	in := New(Config{})
+	_, err := in.RunSource("while False:\n    pass\nelse:\n    pass")
+	if err == nil {
+		t.Fatal("loop else should not parse")
+	}
+}
+
+func TestHashBuiltinConsistency(t *testing.T) {
+	out := runSrcBoth(t, "print(hash(1) == hash(1.0), hash('a') == hash('a'))")
+	if out != "True True\n" {
+		t.Fatalf("hash consistency: %q", out)
+	}
+}
+
+func TestLargeProgramStress(t *testing.T) {
+	// A bigger composed program touching most features at once.
+	var sb strings.Builder
+	sb.WriteString(`
+class Acc:
+    def __init__(self):
+        self.total = 0
+    def add(self, v):
+        self.total += v
+
+def process(items, acc):
+    seen = {}
+    for it in items:
+        k = it % 13
+        if k in seen:
+            seen[k] += 1
+        else:
+            seen[k] = 1
+        acc.add(it if it % 2 == 0 else -it)
+    return seen
+
+acc = Acc()
+data = []
+for i in range(500):
+    data.append((i * 37 + 11) % 291)
+seen = process(data, acc)
+keys = sorted(seen.keys())
+out = []
+for k in keys:
+    out.append(str(k) + ':' + str(seen[k]))
+print(acc.total, ','.join(out))
+`)
+	out := runSrcBoth(t, sb.String())
+	if !strings.Contains(out, ":") {
+		t.Fatalf("unexpected output %q", out)
+	}
+}

@@ -1,0 +1,216 @@
+package vm
+
+import "repro/internal/minipy"
+
+// The cost model assigns each bytecode operation an abstract machine
+// instruction count. The interpreter pays a dispatch overhead per op on top
+// (fetch/decode/indirect-jump), like CPython's eval loop; code running inside
+// a compiled JIT trace pays a reduced, specialized cost, like PyPy's
+// meta-traces. Cycle accounting starts at one cycle per instruction and the
+// microarchitectural Probe adds stall cycles for cache misses and branch
+// mispredictions.
+
+// baseInstr is the work (in abstract instructions) each opcode performs,
+// excluding dispatch.
+var baseInstr = [minipy.NumOps]uint32{
+	minipy.OpNop:             1,
+	minipy.OpLoadConst:       4,
+	minipy.OpLoadLocal:       4,
+	minipy.OpStoreLocal:      4,
+	minipy.OpLoadGlobal:      16,
+	minipy.OpStoreGlobal:     16,
+	minipy.OpLoadCell:        7,
+	minipy.OpStoreCell:       7,
+	minipy.OpPushCell:        5,
+	minipy.OpLoadAttr:        26,
+	minipy.OpStoreAttr:       22,
+	minipy.OpBinary:          20,
+	minipy.OpUnary:           10,
+	minipy.OpJump:            2,
+	minipy.OpJumpIfFalse:     7,
+	minipy.OpJumpIfTrue:      7,
+	minipy.OpJumpIfFalseKeep: 7,
+	minipy.OpJumpIfTrueKeep:  7,
+	minipy.OpCall:            65,
+	minipy.OpReturn:          22,
+	minipy.OpPop:             2,
+	minipy.OpDup:             3,
+	minipy.OpDup2:            4,
+	minipy.OpBuildList:       28,
+	minipy.OpBuildTuple:      24,
+	minipy.OpBuildDict:       40,
+	minipy.OpBuildClass:      120,
+	minipy.OpIndexGet:        24,
+	minipy.OpIndexSet:        24,
+	minipy.OpSliceGet:        44,
+	minipy.OpDelIndex:        28,
+	minipy.OpGetIter:         20,
+	minipy.OpForIter:         14,
+	minipy.OpMakeFunction:    34,
+	minipy.OpUnpack:          18,
+}
+
+// CostParams configures the engine cost model. The zero value is not usable;
+// call DefaultCostParams.
+type CostParams struct {
+	// DispatchOverhead is the per-op interpreter dispatch cost in
+	// instructions (fetch, decode, indirect jump). The dispatch-sensitivity
+	// ablation sweeps this.
+	DispatchOverhead uint32
+	// JITDivisor scales down per-op cost inside compiled traces: a trace op
+	// costs max(1, (base+DispatchOverhead)/JITDivisor) instructions.
+	JITDivisor uint32
+	// JITThreshold is the back-edge count that triggers trace compilation.
+	JITThreshold int
+	// CompileCostPerOp is the one-off compile pause, in cycles, charged per
+	// bytecode op in the compiled region.
+	CompileCostPerOp uint64
+	// GuardFailPenalty is the cycle cost of a side-exit from a trace.
+	GuardFailPenalty uint64
+	// GuardFailLimit is how many side exits a branch may take before a
+	// bridge trace is attached (after which both directions are cheap).
+	GuardFailLimit int
+	// BridgeCompileCost is the pause charged when a bridge is compiled.
+	BridgeCompileCost uint64
+	// InlineCache enables the specializing-interpreter cost model (CPython
+	// 3.11-style): name/attribute/arith/call sites become cheaper after a
+	// short per-site warmup. Applies to the interpreter only; the JIT
+	// already subsumes it inside traces.
+	InlineCache bool
+	// ICWarmup is the per-site execution count before specialization.
+	// Zero means 2.
+	ICWarmup uint8
+	// ICDivisor scales down the base (non-dispatch) cost of specialized
+	// sites. Zero means 3.
+	ICDivisor uint32
+}
+
+// DefaultCostParams returns the calibrated default cost model, loosely
+// matching published CPython-vs-PyPy behaviour: interpreter dispatch is a
+// large fraction of per-op cost, and hot traces run roughly 6-8x fewer
+// instructions per op.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		DispatchOverhead:  9,
+		JITDivisor:        7,
+		JITThreshold:      16,
+		CompileCostPerOp:  420,
+		GuardFailPenalty:  180,
+		GuardFailLimit:    12,
+		BridgeCompileCost: 5200,
+		ICWarmup:          2,
+		ICDivisor:         3,
+	}
+}
+
+// icSpecializable reports whether an opcode benefits from inline caching:
+// the dynamic-lookup sites a specializing interpreter rewrites.
+func icSpecializable(op minipy.Op) bool {
+	switch op {
+	case minipy.OpLoadGlobal, minipy.OpStoreGlobal, minipy.OpLoadAttr,
+		minipy.OpStoreAttr, minipy.OpBinary, minipy.OpIndexGet,
+		minipy.OpIndexSet, minipy.OpCall:
+		return true
+	}
+	return false
+}
+
+// loopSite identifies a loop head (back-edge target) within a code object.
+type loopSite struct {
+	code *minipy.Code
+	head int32
+}
+
+// branchSite identifies a static conditional branch.
+type branchSite struct {
+	code *minipy.Code
+	pc   int32
+}
+
+type guardInfo struct {
+	expect  bool
+	seen    bool
+	fails   int
+	bridged bool
+}
+
+// jitState holds the simulated tracing JIT's bookkeeping for one VM
+// invocation. It persists across benchmark iterations within the invocation
+// — that persistence is what produces warmup curves.
+type jitState struct {
+	params   CostParams
+	hot      map[loopSite]int
+	compiled map[*minipy.Code][]bool
+	guards   map[branchSite]*guardInfo
+	version  uint64
+
+	// Stats exposed for analysis.
+	TracesCompiled  int
+	BridgesCompiled int
+	GuardFails      int
+	OpsInTraces     uint64
+}
+
+func newJITState(p CostParams) *jitState {
+	return &jitState{
+		params:   p,
+		hot:      map[loopSite]int{},
+		compiled: map[*minipy.Code][]bool{},
+		guards:   map[branchSite]*guardInfo{},
+	}
+}
+
+// onBackEdge records a taken back edge and compiles the loop region when it
+// becomes hot. It returns the compile-pause cycles to charge (0 normally).
+func (j *jitState) onBackEdge(code *minipy.Code, from, to int32) uint64 {
+	mask := j.compiled[code]
+	if mask != nil && mask[to] {
+		return 0 // already compiled
+	}
+	site := loopSite{code: code, head: to}
+	j.hot[site]++
+	if j.hot[site] < j.params.JITThreshold {
+		return 0
+	}
+	if mask == nil {
+		mask = make([]bool, len(code.Ops))
+		j.compiled[code] = mask
+	}
+	for pc := to; pc <= from; pc++ {
+		mask[pc] = true
+	}
+	j.TracesCompiled++
+	j.version++
+	delete(j.hot, site)
+	return uint64(from-to+1) * j.params.CompileCostPerOp
+}
+
+// onGuard models a guarded branch inside a compiled trace. It returns the
+// stall cycles for side exits and bridge compilation.
+func (j *jitState) onGuard(code *minipy.Code, pc int32, taken bool) uint64 {
+	site := branchSite{code: code, pc: pc}
+	g := j.guards[site]
+	if g == nil {
+		g = &guardInfo{}
+		j.guards[site] = g
+	}
+	if g.bridged {
+		return 0
+	}
+	if !g.seen {
+		g.seen = true
+		g.expect = taken
+		return 0
+	}
+	if taken == g.expect {
+		return 0
+	}
+	g.fails++
+	j.GuardFails++
+	if g.fails >= j.params.GuardFailLimit {
+		g.bridged = true
+		j.BridgesCompiled++
+		return j.params.BridgeCompileCost
+	}
+	return j.params.GuardFailPenalty
+}

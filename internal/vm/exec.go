@@ -1,0 +1,428 @@
+package vm
+
+import (
+	"repro/internal/minipy"
+)
+
+// codeID returns a stable per-invocation identifier for a code object, used
+// to build branch-site addresses for the probe without unsafe pointers.
+func (in *Interp) codeID(code *minipy.Code) uint64 {
+	if in.codeIDs == nil {
+		in.codeIDs = map[*minipy.Code]uint64{}
+	}
+	if id, ok := in.codeIDs[code]; ok {
+		return id
+	}
+	id := uint64(len(in.codeIDs)+1) << 20
+	in.codeIDs[code] = id
+	return id
+}
+
+// runFrame executes one function (or module) activation.
+func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*minipy.Cell) (minipy.Value, error) {
+	in.depth++
+	if in.depth > in.maxDepth {
+		in.depth--
+		return nil, &RuntimeError{Kind: "RecursionError", Msg: "maximum recursion depth exceeded"}
+	}
+	defer func() { in.depth-- }()
+
+	var (
+		stack    []minipy.Value
+		pc       int
+		ops      = code.Ops
+		consts   = code.Consts
+		names    = code.Names
+		probe    = in.probe
+		dispatch = in.cost.DispatchOverhead
+		cid      uint64
+		// Synthetic frame-local storage base for the cache model.
+		frameBase = uint64(0x8000) + uint64(in.depth)*512
+	)
+	if probe != nil {
+		cid = in.codeID(code)
+	}
+
+	// JIT trace mask for this code object, refreshed on version changes.
+	var mask []bool
+	var maskVer uint64
+	if in.jit != nil {
+		mask = in.jit.compiled[code]
+		maskVer = in.jit.version
+	}
+	// Inline-cache site counters (specializing interpreter).
+	var ic []uint8
+	if in.icSites != nil {
+		ic = in.icArray(code)
+	}
+
+	push := func(v minipy.Value) { stack = append(stack, v) }
+	pop := func() minipy.Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	fail := func(err error) error {
+		if re, ok := err.(*RuntimeError); ok && re.Line == 0 {
+			re.Line = int(code.Lines[pc])
+		}
+		return err
+	}
+
+	for {
+		in.steps++
+		if in.steps > in.maxSteps {
+			return nil, &RuntimeError{Kind: "TimeoutError", Msg: "step budget exhausted"}
+		}
+		ins := ops[pc]
+		op := ins.Op
+
+		// ---- Cost accounting ----
+		instrs := uint64(baseInstr[op] + dispatch)
+		inTrace := false
+		if mask != nil || in.jit != nil {
+			if in.jit != nil && maskVer != in.jit.version {
+				mask = in.jit.compiled[code]
+				maskVer = in.jit.version
+			}
+			if mask != nil && mask[pc] {
+				inTrace = true
+				instrs /= uint64(in.cost.JITDivisor)
+				if instrs == 0 {
+					instrs = 1
+				}
+				in.jit.OpsInTraces++
+			}
+		}
+		if ic != nil && !inTrace && icSpecializable(op) {
+			if c := ic[pc]; c >= in.icWarmup {
+				// Specialized site: the dynamic-lookup work shrinks; the
+				// dispatch cost is unchanged.
+				instrs = uint64(dispatch) + uint64(baseInstr[op])/uint64(in.icDivisor)
+				if instrs == 0 {
+					instrs = 1
+				}
+			} else {
+				ic[pc] = c + 1
+			}
+		}
+		in.instrs += instrs
+		in.cycles += instrs
+		if probe != nil {
+			stall := probe.OnOp(op, instrs)
+			in.stalls += stall
+			in.cycles += stall
+		}
+
+		switch op {
+		case minipy.OpNop:
+			pc++
+		case minipy.OpLoadConst:
+			push(consts[ins.Arg])
+			pc++
+		case minipy.OpLoadLocal:
+			if probe != nil {
+				in.memAccess(frameBase+uint64(ins.Arg)*8, false)
+			}
+			v := locals[ins.Arg]
+			if v == nil {
+				return nil, fail(nameErr("local variable '%s' referenced before assignment",
+					code.LocalNames[ins.Arg]))
+			}
+			push(v)
+			pc++
+		case minipy.OpStoreLocal:
+			if probe != nil {
+				in.memAccess(frameBase+uint64(ins.Arg)*8, true)
+			}
+			locals[ins.Arg] = pop()
+			pc++
+		case minipy.OpLoadGlobal:
+			name := names[ins.Arg]
+			if probe != nil {
+				in.memAccess(0x4000+nameHash(name)%1024*8, false)
+			}
+			v, ok := in.Globals[name]
+			if !ok {
+				v, ok = in.builtins[name]
+				if !ok {
+					return nil, fail(nameErr("name '%s' is not defined", name))
+				}
+			}
+			push(v)
+			pc++
+		case minipy.OpStoreGlobal:
+			name := names[ins.Arg]
+			if probe != nil {
+				in.memAccess(0x4000+nameHash(name)%1024*8, true)
+			}
+			in.Globals[name] = pop()
+			pc++
+		case minipy.OpLoadCell:
+			c := cells[ins.Arg]
+			if probe != nil {
+				in.memAccess(frameBase+256+uint64(ins.Arg)*8, false)
+			}
+			if c.V == nil {
+				return nil, fail(nameErr("free variable referenced before assignment"))
+			}
+			push(c.V)
+			pc++
+		case minipy.OpStoreCell:
+			if probe != nil {
+				in.memAccess(frameBase+256+uint64(ins.Arg)*8, true)
+			}
+			cells[ins.Arg].V = pop()
+			pc++
+		case minipy.OpPushCell:
+			push(cells[ins.Arg])
+			pc++
+		case minipy.OpLoadAttr:
+			target := pop()
+			v, err := in.getAttr(target, names[ins.Arg])
+			if err != nil {
+				return nil, fail(err)
+			}
+			push(v)
+			pc++
+		case minipy.OpStoreAttr:
+			value := pop()
+			target := pop()
+			if err := in.setAttr(target, names[ins.Arg], value); err != nil {
+				return nil, fail(err)
+			}
+			pc++
+		case minipy.OpBinary:
+			b := pop()
+			a := pop()
+			v, err := in.binary(minipy.BinOpCode(ins.Arg), a, b)
+			if err != nil {
+				return nil, fail(err)
+			}
+			push(v)
+			pc++
+		case minipy.OpUnary:
+			a := pop()
+			v, err := in.unary(minipy.UnOpCode(ins.Arg), a)
+			if err != nil {
+				return nil, fail(err)
+			}
+			push(v)
+			pc++
+		case minipy.OpJump:
+			target := int(ins.Arg)
+			if in.jit != nil && target <= pc {
+				pause := in.jit.onBackEdge(code, int32(pc), ins.Arg)
+				if pause > 0 {
+					in.cycles += pause
+					in.jitPauses += pause
+					mask = in.jit.compiled[code]
+					maskVer = in.jit.version
+				}
+			}
+			pc = target
+		case minipy.OpJumpIfFalse, minipy.OpJumpIfTrue:
+			cond := pop().Truth()
+			taken := (op == minipy.OpJumpIfFalse && !cond) || (op == minipy.OpJumpIfTrue && cond)
+			in.branchEvent(code, cid, pc, taken, inTrace)
+			if taken {
+				pc = int(ins.Arg)
+			} else {
+				pc++
+			}
+		case minipy.OpJumpIfFalseKeep, minipy.OpJumpIfTrueKeep:
+			cond := stack[len(stack)-1].Truth()
+			taken := (op == minipy.OpJumpIfFalseKeep && !cond) || (op == minipy.OpJumpIfTrueKeep && cond)
+			in.branchEvent(code, cid, pc, taken, inTrace)
+			if taken {
+				pc = int(ins.Arg)
+			} else {
+				pop()
+				pc++
+			}
+		case minipy.OpCall:
+			n := int(ins.Arg)
+			args := stack[len(stack)-n:]
+			fn := stack[len(stack)-n-1]
+			ret, err := in.call(fn, args)
+			if err != nil {
+				return nil, fail(err)
+			}
+			stack = stack[:len(stack)-n-1]
+			push(ret)
+			pc++
+		case minipy.OpReturn:
+			return pop(), nil
+		case minipy.OpPop:
+			pop()
+			pc++
+		case minipy.OpDup:
+			push(stack[len(stack)-1])
+			pc++
+		case minipy.OpDup2:
+			stack = append(stack, stack[len(stack)-2], stack[len(stack)-1])
+			pc++
+		case minipy.OpBuildList:
+			n := int(ins.Arg)
+			items := make([]minipy.Value, n)
+			copy(items, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			push(in.newList(items))
+			pc++
+		case minipy.OpBuildTuple:
+			n := int(ins.Arg)
+			items := make([]minipy.Value, n)
+			copy(items, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			push(in.newTuple(items))
+			pc++
+		case minipy.OpBuildDict:
+			n := int(ins.Arg)
+			d := in.newDict()
+			base := len(stack) - 2*n
+			for i := 0; i < n; i++ {
+				kv := stack[base+2*i]
+				vv := stack[base+2*i+1]
+				k, err := minipy.MakeKey(kv)
+				if err != nil {
+					return nil, fail(typeErr("%s", err.Error()))
+				}
+				d.Set(k, kv, vv)
+			}
+			stack = stack[:base]
+			push(d)
+			pc++
+		case minipy.OpBuildClass:
+			n := int(ins.Arg)
+			methods := map[string]minipy.Value{}
+			for i := 0; i < n; i++ {
+				v := pop()
+				nameV := pop()
+				methods[string(nameV.(minipy.Str))] = v
+			}
+			baseV := pop()
+			className := string(pop().(minipy.Str))
+			var baseClass *minipy.Class
+			if bc, ok := baseV.(*minipy.Class); ok {
+				baseClass = bc
+			} else if _, isNone := baseV.(minipy.NoneType); !isNone {
+				return nil, fail(typeErr("class base must be a class, not '%s'", baseV.TypeName()))
+			}
+			push(&minipy.Class{Name: className, Base: baseClass, Methods: methods, Addr: in.alloc(256)})
+			pc++
+		case minipy.OpIndexGet:
+			index := pop()
+			target := pop()
+			v, err := in.indexGet(target, index)
+			if err != nil {
+				return nil, fail(err)
+			}
+			push(v)
+			pc++
+		case minipy.OpIndexSet:
+			value := pop()
+			index := pop()
+			target := pop()
+			if err := in.indexSet(target, index, value); err != nil {
+				return nil, fail(err)
+			}
+			pc++
+		case minipy.OpSliceGet:
+			hi := pop()
+			lo := pop()
+			target := pop()
+			v, err := in.sliceGet(target, lo, hi)
+			if err != nil {
+				return nil, fail(err)
+			}
+			push(v)
+			pc++
+		case minipy.OpDelIndex:
+			index := pop()
+			target := pop()
+			if err := in.delIndex(target, index); err != nil {
+				return nil, fail(err)
+			}
+			pc++
+		case minipy.OpGetIter:
+			v := pop()
+			it, err := in.getIter(v)
+			if err != nil {
+				return nil, fail(err)
+			}
+			push(it)
+			pc++
+		case minipy.OpForIter:
+			it := stack[len(stack)-1].(iterator)
+			v, ok := it.next()
+			in.branchEvent(code, cid, pc, !ok, inTrace)
+			if !ok {
+				pop()
+				pc = int(ins.Arg)
+			} else {
+				push(v)
+				pc++
+			}
+		case minipy.OpMakeFunction:
+			fnCode := consts[ins.Arg].(*minipy.Code)
+			nf := len(fnCode.FreeNames)
+			var free []*minipy.Cell
+			if nf > 0 {
+				free = make([]*minipy.Cell, nf)
+				for i := nf - 1; i >= 0; i-- {
+					free[i] = pop().(*minipy.Cell)
+				}
+			}
+			push(&minipy.Function{Code: fnCode, Free: free})
+			pc++
+		case minipy.OpUnpack:
+			n := int(ins.Arg)
+			seq := pop()
+			var items []minipy.Value
+			switch s := seq.(type) {
+			case *minipy.Tuple:
+				items = s.Items
+			case *minipy.List:
+				items = s.Items
+			default:
+				return nil, fail(typeErr("cannot unpack non-sequence %s", seq.TypeName()))
+			}
+			if len(items) != n {
+				return nil, fail(valueErr("expected %d values to unpack, got %d", n, len(items)))
+			}
+			for i := n - 1; i >= 0; i-- {
+				push(items[i])
+			}
+			pc++
+		default:
+			return nil, fail(&RuntimeError{Kind: "SystemError", Msg: "unknown opcode " + op.String()})
+		}
+	}
+}
+
+// branchEvent reports a resolved conditional branch to the probe and, when
+// inside a compiled trace, to the JIT guard model.
+func (in *Interp) branchEvent(code *minipy.Code, cid uint64, pc int, taken, inTrace bool) {
+	if in.probe != nil {
+		stall := in.probe.OnBranch(cid|uint64(pc), taken)
+		in.stalls += stall
+		in.cycles += stall
+	}
+	if inTrace && in.jit != nil {
+		pause := in.jit.onGuard(code, int32(pc), taken)
+		if pause > 0 {
+			in.cycles += pause
+			in.jitPauses += pause
+		}
+	}
+}
+
+// nameHash spreads global-name accesses over the synthetic globals region.
+func nameHash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,120 @@
+package vm
+
+import "repro/internal/minipy"
+
+// iterator is the internal protocol for OpForIter. Concrete iterators are
+// plain structs so the hot loop stays allocation-free after GetIter.
+type iterator interface {
+	minipy.Value
+	next() (minipy.Value, bool)
+}
+
+type listIter struct {
+	l *minipy.List
+	i int
+}
+
+func (*listIter) TypeName() string { return "list_iterator" }
+func (it *listIter) Truth() bool   { return true }
+func (it *listIter) Repr() string  { return "<list_iterator>" }
+func (it *listIter) next() (minipy.Value, bool) {
+	if it.i >= len(it.l.Items) {
+		return nil, false
+	}
+	v := it.l.Items[it.i]
+	it.i++
+	return v, true
+}
+
+type tupleIter struct {
+	t *minipy.Tuple
+	i int
+}
+
+func (*tupleIter) TypeName() string { return "tuple_iterator" }
+func (it *tupleIter) Truth() bool   { return true }
+func (it *tupleIter) Repr() string  { return "<tuple_iterator>" }
+func (it *tupleIter) next() (minipy.Value, bool) {
+	if it.i >= len(it.t.Items) {
+		return nil, false
+	}
+	v := it.t.Items[it.i]
+	it.i++
+	return v, true
+}
+
+type rangeIter struct {
+	cur, stop, step int64
+}
+
+func (*rangeIter) TypeName() string { return "range_iterator" }
+func (it *rangeIter) Truth() bool   { return true }
+func (it *rangeIter) Repr() string  { return "<range_iterator>" }
+func (it *rangeIter) next() (minipy.Value, bool) {
+	if it.step > 0 {
+		if it.cur >= it.stop {
+			return nil, false
+		}
+	} else if it.cur <= it.stop {
+		return nil, false
+	}
+	v := minipy.Int(it.cur)
+	it.cur += it.step
+	return v, true
+}
+
+type strIter struct {
+	s string
+	i int
+}
+
+func (*strIter) TypeName() string { return "str_iterator" }
+func (it *strIter) Truth() bool   { return true }
+func (it *strIter) Repr() string  { return "<str_iterator>" }
+func (it *strIter) next() (minipy.Value, bool) {
+	if it.i >= len(it.s) {
+		return nil, false
+	}
+	// MiniPy strings are byte strings; one-byte slices keep iteration cheap.
+	v := minipy.Str(it.s[it.i : it.i+1])
+	it.i++
+	return v, true
+}
+
+// dictIter iterates over a snapshot of the dict's live keys, in insertion
+// order, matching Python's iteration-over-keys default.
+type dictIter struct {
+	keys []minipy.Value
+	i    int
+}
+
+func (*dictIter) TypeName() string { return "dict_keyiterator" }
+func (it *dictIter) Truth() bool   { return true }
+func (it *dictIter) Repr() string  { return "<dict_keyiterator>" }
+func (it *dictIter) next() (minipy.Value, bool) {
+	if it.i >= len(it.keys) {
+		return nil, false
+	}
+	v := it.keys[it.i]
+	it.i++
+	return v, true
+}
+
+// getIter wraps a value in an iterator per Python's iteration protocol.
+func (in *Interp) getIter(v minipy.Value) (iterator, error) {
+	switch v := v.(type) {
+	case *minipy.List:
+		return &listIter{l: v}, nil
+	case *minipy.Tuple:
+		return &tupleIter{t: v}, nil
+	case *minipy.RangeVal:
+		return &rangeIter{cur: v.Start, stop: v.Stop, step: v.Step}, nil
+	case minipy.Str:
+		return &strIter{s: string(v)}, nil
+	case *minipy.Dict:
+		return &dictIter{keys: v.Keys()}, nil
+	case iterator:
+		return v, nil
+	}
+	return nil, typeErr("'%s' object is not iterable", v.TypeName())
+}

@@ -1,0 +1,22 @@
+package vm
+
+import "fmt"
+
+// MarshalJSON encodes the mode as its name ("interp"/"jit") so exported
+// experiment data is self-describing.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the names produced by MarshalJSON.
+func (m *Mode) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"interp"`:
+		*m = ModeInterp
+	case `"jit"`:
+		*m = ModeJIT
+	default:
+		return fmt.Errorf("vm: unknown mode %s", data)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package vm
+
+import "repro/internal/minipy"
+
+// Probe observes the executed instruction stream so that a
+// microarchitectural model (internal/counters) can simulate hardware
+// performance counters. Returned values are extra stall cycles charged on
+// top of the base cost model, which lets cache misses and branch
+// mispredictions shape the simulated timing exactly as they would on real
+// hardware.
+//
+// A nil Probe disables microarchitectural simulation; the engines then run
+// on the base cost tables alone, which is faster and sufficient for the
+// purely statistical experiments.
+type Probe interface {
+	// OnOp is called once per executed bytecode instruction with the opcode
+	// and the number of abstract machine instructions it expands to. It
+	// returns extra stall cycles (e.g. frontend fetch misses).
+	OnOp(op minipy.Op, instrs uint64) (stall uint64)
+	// OnBranch is called for each conditional control transfer. site
+	// identifies the static branch; taken is the resolved direction.
+	OnBranch(site uint64, taken bool) (stall uint64)
+	// OnMem is called for each simulated data memory access.
+	OnMem(addr uint64, write bool) (stall uint64)
+}

@@ -1,0 +1,467 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// specCase is one language-conformance case: a program and its expected
+// printed output. Every case runs on both engines.
+type specCase struct {
+	name string
+	src  string
+	want string
+}
+
+// runSpec executes the table on both engines.
+func runSpec(t *testing.T, cases []specCase) {
+	t.Helper()
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, mode := range []Mode{ModeInterp, ModeJIT} {
+				var buf bytes.Buffer
+				in := New(Config{Mode: mode, Out: &buf, MaxSteps: 1 << 26})
+				if _, err := in.RunSource(c.src); err != nil {
+					t.Fatalf("[%s] error: %v\n%s", mode, err, c.src)
+				}
+				if got := buf.String(); got != c.want {
+					t.Fatalf("[%s] got %q, want %q\n%s", mode, got, c.want, c.src)
+				}
+			}
+		})
+	}
+}
+
+func TestSpecArithmetic(t *testing.T) {
+	runSpec(t, []specCase{
+		{"int-add-overflowless", "print(9007199254740993 + 1)", "9007199254740994\n"},
+		{"int-neg-pow", "print((-2) ** 3)", "-8\n"},
+		{"pow-zero", "print(5 ** 0, 0 ** 0)", "1 1\n"},
+		{"float-div-int", "print(1 / 4)", "0.25\n"},
+		{"floor-div-float", "print(7.0 // 2, -7.0 // 2)", "3.0 -4.0\n"},
+		{"mod-float-sign", "print(5.5 % 2, -5.5 % 2, 5.5 % -2)", "1.5 0.5 -0.5\n"},
+		{"mixed-promotion", "print(2 * 1.5, 1 + 0.5, 3 - 0.5)", "3.0 1.5 2.5\n"},
+		{"chained-arith", "print(2 + 3 * 4 - 6 / 2)", "11.0\n"},
+		{"unary-chain", "print(--5, -(-(-1)))", "5 -1\n"},
+		{"paren-precedence", "print((2 + 3) * 4)", "20\n"},
+		{"big-mod", "print(2147483647 % 97)", "65\n"},
+		{"exp-literal", "print(1e2, 2.5e-1)", "100.0 0.25\n"},
+	})
+}
+
+func TestSpecComparisonTruthiness(t *testing.T) {
+	runSpec(t, []specCase{
+		{"int-float-eq", "print(1 == 1.0, 0 == False, 1 == True)", "True True True\n"},
+		{"none-identity", "print(None == None, None == 0, None == '')", "True False False\n"},
+		{"list-eq-deep", "print([1, [2, 3]] == [1, [2, 3]])", "True\n"},
+		{"tuple-order", "print((1, 2) < (1, 3), (1, 2) < (1, 2, 0))", "True True\n"},
+		{"str-order", "print('a' < 'b', 'Z' < 'a', '' < 'a')", "True True True\n"},
+		{"not-chain", "print(not not True, not 0, not [1])", "True True False\n"},
+		{"and-or-returns-operand", "print(2 and 3, 0 and 3, 2 or 3, 0 or 3)", "3 0 2 3\n"},
+		{"short-circuit", `
+calls = []
+def side(v, r):
+    calls.append(v)
+    return r
+x = side('a', False) and side('b', True)
+y = side('c', True) or side('d', True)
+print(calls)
+`, "['a', 'c']\n"},
+		{"ternary-nested", "print(1 if False else (2 if True else 3))", "2\n"},
+	})
+}
+
+func TestSpecControlFlow(t *testing.T) {
+	runSpec(t, []specCase{
+		{"nested-break", `
+found = 0
+for i in range(5):
+    for j in range(5):
+        if i * j == 6:
+            found = i * 10 + j
+            break
+    if found:
+        break
+print(found)
+`, "23\n"},
+		{"continue-in-while", `
+s = 0
+i = 0
+while i < 10:
+    i += 1
+    if i % 2:
+        continue
+    s += i
+print(s)
+`, "30\n"},
+		{"for-over-string", `
+out = ''
+for ch in 'abc':
+    out = ch + out
+print(out)
+`, "cba\n"},
+		{"for-over-tuple", `
+t = (5, 6, 7)
+s = 0
+for v in t:
+    s += v
+print(s)
+`, "18\n"},
+		{"for-over-dict-order", `
+d = {'z': 1, 'a': 2, 'm': 3}
+keys = ''
+for k in d:
+    keys += k
+print(keys)
+`, "zam\n"},
+		{"loop-var-persists", `
+for i in range(3):
+    pass
+print(i)
+`, "2\n"},
+		{"empty-range-skips", `
+ran = False
+for i in range(0):
+    ran = True
+print(ran)
+`, "False\n"},
+		{"while-false-body-skipped", `
+x = 1
+while False:
+    x = 2
+print(x)
+`, "1\n"},
+	})
+}
+
+func TestSpecFunctions(t *testing.T) {
+	runSpec(t, []specCase{
+		{"multiple-returns", `
+def classify(n):
+    if n < 0:
+        return 'neg'
+    if n == 0:
+        return 'zero'
+    return 'pos'
+print(classify(-1), classify(0), classify(5))
+`, "neg zero pos\n"},
+		{"implicit-none-return", `
+def noop():
+    pass
+print(noop())
+`, "None\n"},
+		{"tuple-return-unpack", `
+def divmod2(a, b):
+    return a // b, a % b
+q, r = divmod2(17, 5)
+print(q, r)
+`, "3 2\n"},
+		{"function-as-value", `
+def double(x):
+    return 2 * x
+def apply(f, v):
+    return f(v)
+print(apply(double, 21))
+`, "42\n"},
+		{"mutual-recursion", `
+def is_even(n):
+    if n == 0:
+        return True
+    return is_odd(n - 1)
+def is_odd(n):
+    if n == 0:
+        return False
+    return is_even(n - 1)
+print(is_even(10), is_odd(7))
+`, "True True\n"},
+		{"shadow-global", `
+x = 'global'
+def f():
+    x = 'local'
+    return x
+print(f(), x)
+`, "local global\n"},
+		{"late-binding-globals", `
+def f():
+    return later()
+def later():
+    return 'ok'
+print(f())
+`, "ok\n"},
+		{"ackermann-small", `
+def ack(m, n):
+    if m == 0:
+        return n + 1
+    if n == 0:
+        return ack(m - 1, 1)
+    return ack(m - 1, ack(m, n - 1))
+print(ack(2, 3))
+`, "9\n"},
+	})
+}
+
+func TestSpecClosures(t *testing.T) {
+	runSpec(t, []specCase{
+		{"capture-by-reference", `
+def make():
+    v = 1
+    def set(n):
+        nonlocal v
+        v = n
+    def get():
+        return v
+    return set, get
+set, get = make()
+set(99)
+print(get())
+`, "99\n"},
+		{"loop-closure-shares-var", `
+fns = []
+def make_all():
+    i = 0
+    def mk():
+        def f():
+            return i
+        return f
+    while i < 3:
+        fns.append(mk())
+        i += 1
+make_all()
+print(fns[0](), fns[1](), fns[2]())
+`, "3 3 3\n"},
+		{"param-captured", `
+def adder(n):
+    def add(x):
+        return x + n
+    return add
+print(adder(5)(3))
+`, "8\n"},
+		{"triple-nesting-write", `
+def a():
+    v = 0
+    def b():
+        def c():
+            nonlocal v
+            v += 10
+        c()
+        c()
+    b()
+    return v
+print(a())
+`, "20\n"},
+	})
+}
+
+func TestSpecClasses(t *testing.T) {
+	runSpec(t, []specCase{
+		{"init-defaults-absent", `
+class Empty:
+    pass
+e = Empty()
+e.x = 5
+print(e.x, type_name(e))
+`, "5 Empty\n"},
+		{"method-call-via-class", `
+class C:
+    def val(self):
+        return 7
+c = C()
+print(C.val(c))
+`, "7\n"},
+		{"override-and-super-like", `
+class Base:
+    def greet(self):
+        return 'base:' + self.name()
+    def name(self):
+        return 'B'
+class Child(Base):
+    def name(self):
+        return 'C'
+print(Child().greet())
+`, "base:C\n"},
+		{"class-attr-arith", `
+class K:
+    F = 3
+print(K.F * 2)
+`, "6\n"},
+		{"instances-independent", `
+class Box:
+    def __init__(self):
+        self.items = []
+a = Box()
+b = Box()
+a.items.append(1)
+print(len(a.items), len(b.items))
+`, "1 0\n"},
+		{"objects-in-containers", `
+class P:
+    def __init__(self, v):
+        self.v = v
+ps = [P(3), P(1), P(2)]
+total = 0
+for p in ps:
+    total = total * 10 + p.v
+print(total)
+`, "312\n"},
+	})
+}
+
+func TestSpecContainers(t *testing.T) {
+	runSpec(t, []specCase{
+		{"list-aliasing", `
+a = [1, 2]
+b = a
+b.append(3)
+print(a)
+`, "[1, 2, 3]\n"},
+		{"slice-copies", `
+a = [1, 2, 3]
+b = a[:]
+b[0] = 99
+print(a[0], b[0])
+`, "1 99\n"},
+		{"nested-mutation", `
+grid = [[0] * 3, [0] * 3]
+grid[1][2] = 5
+print(grid)
+`, "[[0, 0, 0], [0, 0, 5]]\n"},
+		{"list-repeat-shares-nothing-for-ints", `
+row = [0] * 3
+row[1] = 7
+print(row)
+`, "[0, 7, 0]\n"},
+		{"dict-mixed-keys", `
+d = {1: 'int', 'one': 'str', (1, 2): 'tuple'}
+print(d[1], d['one'], d[(1, 2)])
+`, "int str tuple\n"},
+		{"dict-overwrite-keeps-order", `
+d = {'a': 1, 'b': 2}
+d['a'] = 9
+print(d)
+`, "{'a': 9, 'b': 2}\n"},
+		{"tuple-immutable-contents-visible", `
+inner = [1]
+t = (inner, 2)
+inner.append(3)
+print(t)
+`, "([1, 3], 2)\n"},
+		{"in-operator-everywhere", `
+print(1 in (1, 2), 'a' in {'a': 0}, 3 in [1, 2], 'bc' in 'abcd')
+`, "True True False True\n"},
+		{"len-everywhere", "print(len([1]), len((1, 2)), len({'a': 1}), len('abcd'), len(range(7)))", "1 2 1 4 7\n"},
+		{"sorted-strings", "print(sorted(['pear', 'apple', 'fig']))", "['apple', 'fig', 'pear']\n"},
+		{"deep-structure", `
+data = {'users': [{'name': 'ann', 'age': 31}, {'name': 'bob', 'age': 25}]}
+total = 0
+for u in data['users']:
+    total += u['age']
+print(total, data['users'][0]['name'])
+`, "56 ann\n"},
+	})
+}
+
+func TestSpecStringsAndConversions(t *testing.T) {
+	runSpec(t, []specCase{
+		{"str-of-everything", "print(str(1) + str(2.5) + str(True) + str(None))", "12.5TrueNone\n"},
+		{"int-float-str-roundtrip", "print(int('42') + 1, float('0.5') * 2, str(7) * 2)", "43 1.0 77\n"},
+		{"str-index-neg", "print('hello'[-2])", "l\n"},
+		{"str-compare-methods", "print('aaa' < 'ab', 'abc'.upper() == 'ABC')", "True True\n"},
+		{"split-join-roundtrip", `
+s = 'a,b,c'
+print(','.join(s.split(',')) == s)
+`, "True\n"},
+		{"build-number-string", `
+out = ''
+for i in range(5):
+    out += str(i)
+print(out, int(out))
+`, "01234 1234\n"},
+	})
+}
+
+func TestSpecScopingCorners(t *testing.T) {
+	runSpec(t, []specCase{
+		{"global-write-visible", `
+counter = 0
+def bump():
+    global counter
+    counter += 1
+bump()
+bump()
+print(counter)
+`, "2\n"},
+		{"del-then-rebuild", `
+d = {'x': 1}
+del d['x']
+d['x'] = 2
+print(d)
+`, "{'x': 2}\n"},
+		{"aug-assign-on-attrs-and-items", `
+class A:
+    pass
+a = A()
+a.n = 1
+a.n += 2
+xs = [1]
+xs[0] *= 5
+print(a.n, xs[0])
+`, "3 5\n"},
+		{"builtin-shadowing", `
+def len(x):
+    return 'shadowed'
+print(len([1, 2, 3]))
+`, "shadowed\n"},
+	})
+}
+
+// TestSpecDeterministicAcrossRuns guards bit-for-bit determinism of the
+// engine itself: two executions of the same program produce identical step
+// and cycle counts.
+func TestSpecDeterministicAcrossRuns(t *testing.T) {
+	src := `
+total = 0
+d = {}
+for i in range(300):
+    d[i % 17] = i
+    total += d.get(i % 23, 0)
+print(total)
+`
+	type counts struct{ steps, cycles uint64 }
+	run := func(mode Mode) counts {
+		in := New(Config{Mode: mode})
+		if _, err := in.RunSource(src); err != nil {
+			t.Fatal(err)
+		}
+		c := in.CountersSnapshot()
+		return counts{c.Steps, c.Cycles}
+	}
+	for _, mode := range []Mode{ModeInterp, ModeJIT} {
+		a, b := run(mode), run(mode)
+		if a != b {
+			t.Fatalf("[%v] engine not deterministic: %+v vs %+v", mode, a, b)
+		}
+	}
+}
+
+// TestSpecPrintedFloatsMatchGo documents the float formatting contract.
+func TestSpecPrintedFloatsMatchGo(t *testing.T) {
+	cases := map[float64]string{
+		1:         "1.0",
+		0.1:       "0.1",
+		1.0 / 3.0: "0.3333333333333333",
+		1e21:      "1e+21",
+		-2.5:      "-2.5",
+	}
+	for f, want := range cases {
+		var buf bytes.Buffer
+		in := New(Config{Out: &buf})
+		if _, err := in.RunSource(fmt.Sprintf("print(%v + 0.0)", f)); err != nil {
+			t.Fatal(err)
+		}
+		if got := buf.String(); got != want+"\n" {
+			t.Errorf("print(%v) = %q, want %q", f, got, want)
+		}
+	}
+}

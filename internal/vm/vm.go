@@ -1,0 +1,288 @@
+package vm
+
+import (
+	"io"
+
+	"repro/internal/minipy"
+)
+
+// Mode selects the execution engine.
+type Mode int
+
+// Engine modes.
+const (
+	// ModeInterp is the CPython-like switch-dispatch interpreter.
+	ModeInterp Mode = iota
+	// ModeJIT is the simulated tracing JIT (PyPy-like cost model).
+	ModeJIT
+)
+
+func (m Mode) String() string {
+	if m == ModeJIT {
+		return "jit"
+	}
+	return "interp"
+}
+
+// Config configures one VM invocation.
+type Config struct {
+	Mode Mode
+	// Cost overrides the cost model; zero value means DefaultCostParams.
+	Cost CostParams
+	// Probe, when non-nil, receives the executed instruction stream for
+	// microarchitectural simulation; its returned stalls are added to the
+	// cycle count.
+	Probe Probe
+	// Out receives print() output. Defaults to io.Discard.
+	Out io.Writer
+	// MaxSteps bounds executed bytecode ops per Run/Call (0 = 2^62).
+	MaxSteps uint64
+	// MaxDepth bounds call nesting. Defaults to 4096.
+	MaxDepth int
+}
+
+// Counters is a snapshot of the engine's execution accounting.
+type Counters struct {
+	Steps        uint64 // executed bytecode ops
+	Instructions uint64 // abstract machine instructions
+	Cycles       uint64 // simulated cycles (instructions + stalls + pauses)
+	StallCycles  uint64 // probe-attributed stalls (cache, branch)
+	JITPauses    uint64 // compile/bridge pause cycles
+	Allocations  uint64 // heap objects allocated
+}
+
+// Sub returns c - prev, field-wise.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Steps:        c.Steps - prev.Steps,
+		Instructions: c.Instructions - prev.Instructions,
+		Cycles:       c.Cycles - prev.Cycles,
+		StallCycles:  c.StallCycles - prev.StallCycles,
+		JITPauses:    c.JITPauses - prev.JITPauses,
+		Allocations:  c.Allocations - prev.Allocations,
+	}
+}
+
+// Interp is one MiniPy VM invocation: a module's global namespace plus the
+// execution-cost accounting for the chosen engine. It is not safe for
+// concurrent use.
+type Interp struct {
+	cfg      Config
+	cost     CostParams
+	Globals  map[string]minipy.Value
+	builtins map[string]minipy.Value
+	out      io.Writer
+
+	jit   *jitState
+	probe Probe
+
+	steps     uint64
+	maxSteps  uint64
+	instrs    uint64
+	cycles    uint64
+	stalls    uint64
+	jitPauses uint64
+	allocs    uint64
+	allocAddr uint64
+	depth     int
+	maxDepth  int
+	codeIDs   map[*minipy.Code]uint64
+
+	// Inline-cache (specializing interpreter) state: per-site execution
+	// counts, saturating at icWarmup.
+	icSites   map[*minipy.Code][]uint8
+	icWarmup  uint8
+	icDivisor uint32
+}
+
+// New creates a fresh VM invocation.
+func New(cfg Config) *Interp {
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	cost := cfg.Cost
+	if cost.DispatchOverhead == 0 && cost.JITDivisor == 0 {
+		cost = DefaultCostParams()
+	}
+	if cost.JITDivisor == 0 {
+		cost.JITDivisor = 1
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 62
+	}
+	maxDepth := cfg.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 4096
+	}
+	in := &Interp{
+		cfg:       cfg,
+		cost:      cost,
+		Globals:   map[string]minipy.Value{},
+		out:       cfg.Out,
+		probe:     cfg.Probe,
+		maxSteps:  maxSteps,
+		maxDepth:  maxDepth,
+		allocAddr: 0x10000, // leave a synthetic "low memory" hole
+	}
+	in.builtins = builtinTable()
+	if cfg.Mode == ModeJIT {
+		in.jit = newJITState(cost)
+	}
+	if cost.InlineCache {
+		in.icSites = map[*minipy.Code][]uint8{}
+		in.icWarmup = cost.ICWarmup
+		if in.icWarmup == 0 {
+			in.icWarmup = 2
+		}
+		in.icDivisor = cost.ICDivisor
+		if in.icDivisor == 0 {
+			in.icDivisor = 3
+		}
+	}
+	return in
+}
+
+// icArray returns the per-site inline-cache counters for a code object.
+func (in *Interp) icArray(code *minipy.Code) []uint8 {
+	arr, ok := in.icSites[code]
+	if !ok {
+		arr = make([]uint8, len(code.Ops))
+		in.icSites[code] = arr
+	}
+	return arr
+}
+
+// Mode reports the engine mode of this invocation.
+func (in *Interp) Mode() Mode { return in.cfg.Mode }
+
+// CountersSnapshot returns the current execution accounting.
+func (in *Interp) CountersSnapshot() Counters {
+	return Counters{
+		Steps:        in.steps,
+		Instructions: in.instrs,
+		Cycles:       in.cycles,
+		StallCycles:  in.stalls,
+		JITPauses:    in.jitPauses,
+		Allocations:  in.allocs,
+	}
+}
+
+// JITStats returns trace-compilation statistics, or zeros for the
+// interpreter.
+func (in *Interp) JITStats() (traces, bridges, guardFails int) {
+	if in.jit == nil {
+		return 0, 0, 0
+	}
+	return in.jit.TracesCompiled, in.jit.BridgesCompiled, in.jit.GuardFails
+}
+
+// alloc reserves a synthetic heap address for an object of approximately
+// size bytes and counts the allocation.
+func (in *Interp) alloc(size uint64) uint64 {
+	if size < 16 {
+		size = 16
+	}
+	size = (size + 15) &^ 15
+	addr := in.allocAddr
+	in.allocAddr += size
+	in.allocs++
+	return addr
+}
+
+func (in *Interp) newList(items []minipy.Value) *minipy.List {
+	return &minipy.List{Items: items, Addr: in.alloc(uint64(24 + 8*len(items)))}
+}
+
+func (in *Interp) newTuple(items []minipy.Value) *minipy.Tuple {
+	return &minipy.Tuple{Items: items, Addr: in.alloc(uint64(16 + 8*len(items)))}
+}
+
+func (in *Interp) newDict() *minipy.Dict {
+	return minipy.NewDict(in.alloc(4096)) // synthetic bucket array footprint
+}
+
+// memAccess reports a simulated data access to the probe and charges stalls.
+func (in *Interp) memAccess(addr uint64, write bool) {
+	if in.probe != nil {
+		stall := in.probe.OnMem(addr, write)
+		in.stalls += stall
+		in.cycles += stall
+	}
+}
+
+// RunModule executes compiled module code in this invocation's globals.
+func (in *Interp) RunModule(code *minipy.Code) (minipy.Value, error) {
+	if !code.IsModule {
+		return nil, typeErr("RunModule requires module code")
+	}
+	return in.runFrame(code, nil, nil)
+}
+
+// RunSource compiles and runs MiniPy source.
+func (in *Interp) RunSource(src string) (minipy.Value, error) {
+	code, err := minipy.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return in.RunModule(code)
+}
+
+// CallGlobal calls a function defined in the module's global namespace.
+func (in *Interp) CallGlobal(name string, args ...minipy.Value) (minipy.Value, error) {
+	fn, ok := in.Globals[name]
+	if !ok {
+		return nil, nameErr("name '%s' is not defined", name)
+	}
+	return in.call(fn, args)
+}
+
+// call invokes any callable value.
+func (in *Interp) call(fn minipy.Value, args []minipy.Value) (minipy.Value, error) {
+	switch fn := fn.(type) {
+	case *minipy.Function:
+		code := fn.Code
+		if len(args) != code.NumParams {
+			return nil, typeErr("%s() takes %d arguments (%d given)",
+				code.Name, code.NumParams, len(args))
+		}
+		locals := make([]minipy.Value, len(code.LocalNames))
+		copy(locals, args)
+		var cells []*minipy.Cell
+		if n := code.NumCells(); n > 0 {
+			cells = make([]*minipy.Cell, n)
+			for i, slot := range code.CellLocals {
+				cells[i] = &minipy.Cell{V: locals[slot]}
+			}
+			copy(cells[len(code.CellLocals):], fn.Free)
+		}
+		return in.runFrame(code, locals, cells)
+	case *minipy.BoundMethod:
+		all := make([]minipy.Value, 0, len(args)+1)
+		all = append(all, fn.Recv)
+		all = append(all, args...)
+		return in.call(fn.Fn, all)
+	case *builtinFunc:
+		return fn.fn(in, args)
+	case *builtinMethod:
+		return fn.fn(in, fn.recv, args)
+	case *minipy.Class:
+		inst := &minipy.Instance{Class: fn, Fields: map[string]minipy.Value{}, Addr: in.alloc(128)}
+		if init, ok := fn.Lookup("__init__"); ok {
+			initFn, ok := init.(*minipy.Function)
+			if !ok {
+				return nil, typeErr("__init__ must be a function")
+			}
+			all := make([]minipy.Value, 0, len(args)+1)
+			all = append(all, inst)
+			all = append(all, args...)
+			if _, err := in.call(initFn, all); err != nil {
+				return nil, err
+			}
+		} else if len(args) != 0 {
+			return nil, typeErr("%s() takes no arguments (%d given)", fn.Name, len(args))
+		}
+		return inst, nil
+	}
+	return nil, typeErr("'%s' object is not callable", fn.TypeName())
+}

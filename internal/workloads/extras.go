@@ -1,0 +1,204 @@
+package workloads
+
+// Extended returns additional workloads beyond the canonical 16-benchmark
+// suite used by the published experiments. They broaden coverage (dynamic
+// programming, sieves, recursive serialization, state machines) for users
+// composing their own studies; the experiment tables intentionally stay on
+// the canonical suite so EXPERIMENTS.md remains stable.
+func Extended() []Benchmark {
+	return []Benchmark{
+		{Name: "primes", Checksum: "3870", Class: ClassNumeric,
+			Description: "sieve of Eratosthenes; list writes + inner strides", Source: srcPrimes},
+		{Name: "knapsack", Checksum: "727", Class: ClassNumeric,
+			Description: "0/1 knapsack dynamic program; 2D list indexing", Source: srcKnapsack},
+		{Name: "lcs", Checksum: "'\\'19:wvusrqpomlihgfedcba\\''", Class: ClassMixed,
+			Description: "longest common subsequence DP over strings", Source: srcLCS},
+		{Name: "serialize", Checksum: "979", Class: ClassMixed,
+			Description: "recursive JSON-style serialization of nested structures", Source: srcSerialize},
+		{Name: "statemachine", Checksum: "14401", Class: ClassDict,
+			Description: "token state machine driven by dict transition tables", Source: srcStateMachine},
+	}
+}
+
+const srcPrimes = `
+def sieve(n):
+    is_prime = [True] * (n + 1)
+    is_prime[0] = False
+    is_prime[1] = False
+    i = 2
+    while i * i <= n:
+        if is_prime[i]:
+            j = i * i
+            while j <= n:
+                is_prime[j] = False
+                j += i
+        i += 1
+    count = 0
+    last = 0
+    for k in range(n + 1):
+        if is_prime[k]:
+            count += 1
+            last = k
+    return count, last
+
+def run():
+    count, last = sieve(3000)
+    return count * 3000 // last + count * 8
+`
+
+const srcKnapsack = `
+def knapsack(weights, values, capacity):
+    n = len(weights)
+    table = []
+    for i in range(n + 1):
+        table.append([0] * (capacity + 1))
+    for i in range(1, n + 1):
+        w = weights[i - 1]
+        v = values[i - 1]
+        row = table[i]
+        prev = table[i - 1]
+        for c in range(capacity + 1):
+            best = prev[c]
+            if w <= c:
+                cand = prev[c - w] + v
+                if cand > best:
+                    best = cand
+            row[c] = best
+    return table[n][capacity]
+
+def run():
+    seed = 24680
+    weights = []
+    values = []
+    for i in range(18):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        weights.append(1 + seed % 12)
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        values.append(1 + seed % 100)
+    return knapsack(weights, values, 60)
+`
+
+const srcLCS = `
+def lcs(a, b):
+    n = len(a)
+    m = len(b)
+    table = []
+    for i in range(n + 1):
+        table.append([0] * (m + 1))
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if a[i - 1] == b[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            elif table[i - 1][j] >= table[i][j - 1]:
+                table[i][j] = table[i - 1][j]
+            else:
+                table[i][j] = table[i][j - 1]
+    # Reconstruct.
+    out = ''
+    i = n
+    j = m
+    while i > 0 and j > 0:
+        if a[i - 1] == b[j - 1]:
+            out += a[i - 1]
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return table[n][m], out
+
+def run():
+    a = 'abcdefghijklmnopqrstuvwxyz' * 1
+    b = 'abcdefghilmopqrsnguvz' + 'zyxw'
+    ln, seq = lcs(a + 'nop', b)
+    return repr(str(ln) + ':' + seq)
+`
+
+const srcSerialize = `
+def to_json(v):
+    t = type_name(v)
+    if t == 'int' or t == 'float':
+        return str(v)
+    if t == 'bool':
+        return 'true' if v else 'false'
+    if t == 'NoneType':
+        return 'null'
+    if t == 'str':
+        return '"' + v.replace('"', '\\"') + '"'
+    if t == 'list':
+        parts = []
+        for item in v:
+            parts.append(to_json(item))
+        return '[' + ','.join(parts) + ']'
+    if t == 'dict':
+        parts = []
+        for k in v:
+            parts.append(to_json(str(k)) + ':' + to_json(v[k]))
+        return '{' + ','.join(parts) + '}'
+    return '"?"'
+
+def build(depth, width, seed):
+    if depth == 0:
+        return seed % 100
+    node = {}
+    for i in range(width):
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        key = 'k' + str(i)
+        if seed % 3 == 0:
+            node[key] = build(depth - 1, width, seed)
+        elif seed % 3 == 1:
+            items = []
+            for j in range(width):
+                items.append(build(depth - 1, width, seed + j))
+            node[key] = items
+        else:
+            node[key] = 'v' + str(seed % 1000)
+    return node
+
+def run():
+    doc = build(3, 4, 9999)
+    s = to_json(doc)
+    total = 0
+    for ch in s:
+        if ch == '{' or ch == '[':
+            total += 2
+    return total + len(s) % 1000
+`
+
+const srcStateMachine = `
+def make_table():
+    # States: 0 start, 1 ident, 2 number, 3 space. Inputs: a=alpha, d=digit,
+    # s=space, o=other.
+    return {
+        (0, 'a'): 1, (0, 'd'): 2, (0, 's'): 3, (0, 'o'): 0,
+        (1, 'a'): 1, (1, 'd'): 1, (1, 's'): 3, (1, 'o'): 0,
+        (2, 'a'): 0, (2, 'd'): 2, (2, 's'): 3, (2, 'o'): 0,
+        (3, 'a'): 1, (3, 'd'): 2, (3, 's'): 3, (3, 'o'): 0,
+    }
+
+def classify(ch):
+    o = ord(ch)
+    if o >= 97 and o <= 122:
+        return 'a'
+    if o >= 48 and o <= 57:
+        return 'd'
+    if ch == ' ':
+        return 's'
+    return 'o'
+
+def run():
+    table = make_table()
+    text = ('count 42 items plus 7 more; ok? yes x9 ' * 20).strip()
+    state = 0
+    idents = 0
+    numbers = 0
+    for ch in text:
+        prev = state
+        state = table[(state, classify(ch))]
+        if prev != 1 and state == 1:
+            idents += 1
+        if prev != 2 and state == 2:
+            numbers += 1
+    return idents * 100 + numbers * 10 + state
+`

@@ -1,0 +1,21 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestExtendedWorkloadsRunAndAgree(t *testing.T) {
+	for _, b := range Extended() {
+		interp := runBench(t, b, vm.ModeInterp)
+		jit := runBench(t, b, vm.ModeJIT)
+		t.Logf("%-13s checksum=%s", b.Name, interp)
+		if interp != jit {
+			t.Errorf("%s: engines disagree: %s vs %s", b.Name, interp, jit)
+		}
+		if b.Checksum != "" && interp != b.Checksum {
+			t.Errorf("%s: checksum %s, want %s", b.Name, interp, b.Checksum)
+		}
+	}
+}

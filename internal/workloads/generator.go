@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// SyntheticConfig parameterizes the synthetic workload generator. The
+// generator emits a MiniPy program whose dynamic behaviour is controlled
+// along the axes the characterization cares about: loop trip counts,
+// call density, dict/string pressure, and branch predictability.
+type SyntheticConfig struct {
+	// LoopIters is the hot loop trip count per run() call. Default 500.
+	LoopIters int
+	// CallEveryN inserts a helper-function call every N loop iterations
+	// (0 = no calls).
+	CallEveryN int
+	// DictOps inserts a dict write+read per loop iteration when true.
+	DictOps bool
+	// StrOps inserts string concatenation work per loop iteration when true.
+	StrOps bool
+	// BranchEntropy in [0, 1]: 0 = perfectly predictable branch pattern,
+	// 1 = data-dependent pseudo-random branches (JIT-guard hostile).
+	BranchEntropy float64
+	// Seed varies the generated constants so distinct programs differ.
+	Seed uint64
+}
+
+// Synthetic generates a benchmark from the configuration. The program is a
+// deterministic function of the config, and run() returns a checksum so the
+// engines stay cross-validated.
+func Synthetic(cfg SyntheticConfig) Benchmark {
+	if cfg.LoopIters <= 0 {
+		cfg.LoopIters = 500
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x5EED)
+	c1 := 1 + rng.Intn(97)
+	c2 := 1 + rng.Intn(89)
+
+	var sb strings.Builder
+	sb.WriteString("def helper(x):\n    return x * ")
+	fmt.Fprintf(&sb, "%d + %d\n\n", c1, c2)
+	sb.WriteString("def run():\n")
+	sb.WriteString("    total = 0\n")
+	sb.WriteString("    seed = 123456789\n")
+	if cfg.DictOps {
+		sb.WriteString("    d = {}\n")
+	}
+	if cfg.StrOps {
+		sb.WriteString("    s = ''\n")
+	}
+	fmt.Fprintf(&sb, "    for i in range(%d):\n", cfg.LoopIters)
+	// Branch structure.
+	switch {
+	case cfg.BranchEntropy <= 0:
+		sb.WriteString("        if i % 2 == 0:\n")
+	case cfg.BranchEntropy >= 1:
+		sb.WriteString("        seed = (seed * 1103515245 + 12345) % 2147483648\n")
+		sb.WriteString("        if seed % 2 == 0:\n")
+	default:
+		// Mix: predictable most of the time, random otherwise.
+		period := int(1/cfg.BranchEntropy) + 1
+		sb.WriteString("        seed = (seed * 1103515245 + 12345) % 2147483648\n")
+		fmt.Fprintf(&sb, "        if i %% %d == 0 and seed %% 2 == 0 or i %% %d != 0 and i %% 2 == 0:\n",
+			period, period)
+	}
+	fmt.Fprintf(&sb, "            total += i %% %d\n", c1)
+	sb.WriteString("        else:\n")
+	fmt.Fprintf(&sb, "            total -= i %% %d\n", c2)
+	if cfg.CallEveryN > 0 {
+		fmt.Fprintf(&sb, "        if i %% %d == 0:\n", cfg.CallEveryN)
+		sb.WriteString("            total += helper(i) % 1000\n")
+	}
+	if cfg.DictOps {
+		sb.WriteString("        d[i % 64] = total\n")
+		sb.WriteString("        total += d.get(i % 97, 0) % 13\n")
+	}
+	if cfg.StrOps {
+		sb.WriteString("        if i % 32 == 0:\n")
+		sb.WriteString("            s = s + str(total % 10)\n")
+	}
+	sb.WriteString("    return total")
+	if cfg.StrOps {
+		sb.WriteString(" + len(s)")
+	}
+	sb.WriteString("\n")
+
+	name := fmt.Sprintf("synthetic-%d-%x", cfg.LoopIters, cfg.Seed)
+	return Benchmark{
+		Name:        name,
+		Description: fmt.Sprintf("generated workload (%+v)", cfg),
+		Class:       ClassMixed,
+		Source:      sb.String(),
+	}
+}

@@ -1,0 +1,91 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func runBench(t *testing.T, b Benchmark, mode vm.Mode) string {
+	t.Helper()
+	code, err := b.Compile()
+	if err != nil {
+		t.Fatalf("%s: compile: %v\nsource:\n%s", b.Name, err, b.Source)
+	}
+	engine := vm.New(vm.Config{Mode: mode, MaxSteps: 1 << 30})
+	if _, err := engine.RunModule(code); err != nil {
+		t.Fatalf("%s: setup: %v", b.Name, err)
+	}
+	v, err := engine.CallGlobal("run")
+	if err != nil {
+		t.Fatalf("%s: run: %v", b.Name, err)
+	}
+	return v.Repr()
+}
+
+func TestSyntheticVariantsCompileAndAgree(t *testing.T) {
+	configs := []SyntheticConfig{
+		{},
+		{LoopIters: 200, CallEveryN: 5},
+		{LoopIters: 300, DictOps: true},
+		{LoopIters: 300, StrOps: true},
+		{LoopIters: 300, BranchEntropy: 1},
+		{LoopIters: 300, BranchEntropy: 0.3, Seed: 7},
+		{LoopIters: 400, CallEveryN: 3, DictOps: true, StrOps: true, BranchEntropy: 0.5, Seed: 9},
+	}
+	for _, cfg := range configs {
+		b := Synthetic(cfg)
+		interp := runBench(t, b, vm.ModeInterp)
+		jit := runBench(t, b, vm.ModeJIT)
+		if interp != jit {
+			t.Errorf("%s: engines disagree: %s vs %s", b.Name, interp, jit)
+		}
+	}
+}
+
+func TestSyntheticDeterministicPerConfig(t *testing.T) {
+	a := Synthetic(SyntheticConfig{Seed: 1, LoopIters: 100})
+	b := Synthetic(SyntheticConfig{Seed: 1, LoopIters: 100})
+	if a.Source != b.Source {
+		t.Fatal("same config must generate the same program")
+	}
+	c := Synthetic(SyntheticConfig{Seed: 2, LoopIters: 100})
+	if a.Source == c.Source {
+		t.Fatal("different seeds should generate different constants")
+	}
+}
+
+func TestSyntheticBranchEntropyAffectsCost(t *testing.T) {
+	// Under the JIT, guard-hostile branches must cost more cycles per
+	// steady iteration than predictable ones.
+	run := func(entropy float64) uint64 {
+		b := Synthetic(SyntheticConfig{LoopIters: 800, BranchEntropy: entropy, Seed: 3})
+		code, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine := vm.New(vm.Config{Mode: vm.ModeJIT, MaxSteps: 1 << 30})
+		if _, err := engine.RunModule(code); err != nil {
+			t.Fatal(err)
+		}
+		// Warm up, then measure a steady iteration.
+		for i := 0; i < 5; i++ {
+			if _, err := engine.CallGlobal("run"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := engine.CountersSnapshot().Cycles
+		if _, err := engine.CallGlobal("run"); err != nil {
+			t.Fatal(err)
+		}
+		return engine.CountersSnapshot().Cycles - before
+	}
+	predictable := run(0)
+	hostile := run(1)
+	// The hostile variant executes an extra LCG statement per iteration, so
+	// compare with ample headroom: hostile must cost at least 15% more.
+	if float64(hostile) < 1.15*float64(predictable) {
+		t.Fatalf("guard-hostile (%d cycles) should cost more than predictable (%d)",
+			hostile, predictable)
+	}
+}

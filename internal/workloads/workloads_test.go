@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/minipy"
+	"repro/internal/vm"
+)
+
+// runOn compiles and runs a benchmark once on the given engine, returning
+// the repr of run()'s result.
+func runOn(t *testing.T, b Benchmark, mode vm.Mode) string {
+	t.Helper()
+	code, err := b.Compile()
+	if err != nil {
+		t.Fatalf("%s: compile: %v", b.Name, err)
+	}
+	engine := vm.New(vm.Config{Mode: mode, MaxSteps: 1 << 30})
+	if _, err := engine.RunModule(code); err != nil {
+		t.Fatalf("%s: module setup: %v", b.Name, err)
+	}
+	v, err := engine.CallGlobal("run")
+	if err != nil {
+		t.Fatalf("%s: run(): %v", b.Name, err)
+	}
+	return v.Repr()
+}
+
+func TestSuiteCompilesAndRuns(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 15 {
+		t.Fatalf("suite has %d benchmarks, want >= 15", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, b := range suite {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Description == "" || b.Class == "" {
+			t.Errorf("%s: missing description or class", b.Name)
+		}
+		got := runOn(t, b, vm.ModeInterp)
+		t.Logf("%-14s checksum=%s", b.Name, got)
+		if b.Checksum != "" && got != b.Checksum {
+			t.Errorf("%s: checksum %s, want %s", b.Name, got, b.Checksum)
+		}
+	}
+}
+
+func TestEnginesAgreeOnEveryBenchmark(t *testing.T) {
+	for _, b := range Suite() {
+		interp := runOn(t, b, vm.ModeInterp)
+		jit := runOn(t, b, vm.ModeJIT)
+		if interp != jit {
+			t.Errorf("%s: engines disagree: interp=%s jit=%s", b.Name, interp, jit)
+		}
+	}
+}
+
+func TestRunIsRepeatableWithinInvocation(t *testing.T) {
+	// run() must be callable repeatedly with a stable result — the harness
+	// depends on that.
+	for _, b := range Suite() {
+		code, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		engine := vm.New(vm.Config{MaxSteps: 1 << 31})
+		if _, err := engine.RunModule(code); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		var first minipy.Value
+		for i := 0; i < 3; i++ {
+			v, err := engine.CallGlobal("run")
+			if err != nil {
+				t.Fatalf("%s: run() #%d: %v", b.Name, i, err)
+			}
+			if i == 0 {
+				first = v
+			} else if v.Repr() != first.Repr() {
+				t.Errorf("%s: run() not repeatable: %s vs %s", b.Name, first.Repr(), v.Repr())
+				break
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("fib"); !ok {
+		t.Fatal("ByName(fib) not found")
+	}
+	if _, ok := ByName("no-such-benchmark"); ok {
+		t.Fatal("ByName returned a bogus benchmark")
+	}
+}
+
+func TestSuiteCostProfile(t *testing.T) {
+	// Guard the suite's scale: every benchmark should execute a meaningful
+	// but bounded number of bytecode ops per run() call, so full experiments
+	// stay fast while timings remain measurable.
+	for _, b := range Suite() {
+		code, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		engine := vm.New(vm.Config{MaxSteps: 1 << 31})
+		if _, err := engine.RunModule(code); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		before := engine.CountersSnapshot()
+		if _, err := engine.CallGlobal("run"); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		steps := engine.CountersSnapshot().Sub(before).Steps
+		if steps < 5_000 {
+			t.Errorf("%s: run() executes only %d ops — too small to measure", b.Name, steps)
+		}
+		if steps > 5_000_000 {
+			t.Errorf("%s: run() executes %d ops — too slow for full experiments", b.Name, steps)
+		}
+		t.Logf("%-14s %8d ops/iteration", b.Name, steps)
+	}
+}

@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: static analysis plus the full test suite
+# under the race detector (the harness and supervisor are concurrent).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -15,15 +15,22 @@
 //
 // Scale/noise knobs: -invocations, -iterations, -trials, -seed, -noise
 // {default,quiet,noisy,none}.
+//
+// Fault-tolerance knobs (supervised execution): -faults {none,light,heavy,
+// kind=prob,...}, -retries N, -quorum K, -resume DIR. With -resume, an
+// interrupted run picks up where it left off, skipping completed
+// invocations; the same seed always reproduces the same fault schedule.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/methodology"
 	"repro/internal/noise"
@@ -50,6 +57,10 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "with -bench: dump the raw result (all invocations) as JSON")
 		profile     = flag.String("profile", "", "print the per-opcode execution profile of a benchmark")
 		dis         = flag.String("dis", "", "disassemble a benchmark's bytecode")
+		faultsSpec  = flag.String("faults", "", "fault injection: none, light, heavy, or kind=prob list (kinds: panic, hang, corrupt, checksum, compile)")
+		retries     = flag.Int("retries", 0, "per-invocation retry budget for supervised runs")
+		quorum      = flag.Int("quorum", 0, "minimum successful invocations per experiment (0 = all)")
+		resume      = flag.String("resume", "", "checkpoint directory: save progress after every invocation and resume interrupted runs")
 	)
 	flag.Parse()
 
@@ -57,12 +68,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fp, err := faults.Parse(*faultsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *resume != "" {
+		if err := os.MkdirAll(*resume, 0o755); err != nil {
+			fatal(fmt.Errorf("creating checkpoint dir: %w", err))
+		}
+	}
 	cfg := core.Config{
-		Seed:        *seed,
-		Invocations: *invocations,
-		Iterations:  *iterations,
-		Trials:      *trials,
-		Noise:       np,
+		Seed:          *seed,
+		Invocations:   *invocations,
+		Iterations:    *iterations,
+		Trials:        *trials,
+		Noise:         np,
+		Retries:       *retries,
+		Quorum:        *quorum,
+		Faults:        fp,
+		CheckpointDir: *resume,
 	}
 
 	style := renderText
@@ -126,8 +150,20 @@ func emit(out fmt.Stringer, style renderStyle) {
 	fmt.Println(out.String())
 }
 
+// supervisorOptions maps the CLI's supervision config onto the harness
+// policy (checkpoint stores are attached per experiment by the callers).
+func supervisorOptions(cfg core.Config) harness.SupervisorOptions {
+	return harness.SupervisorOptions{
+		MaxRetries: cfg.Retries,
+		Quorum:     cfg.Quorum,
+		Faults:     cfg.Faults,
+		FaultSeed:  cfg.FaultSeed,
+	}
+}
+
 // doSuite runs the rigorous methodology across the whole suite with
-// family-wise (Holm–Bonferroni) error control.
+// family-wise (Holm–Bonferroni) error control, under fault-tolerant
+// supervision when configured.
 func doSuite(cfg core.Config, style renderStyle) error {
 	inv, iter := cfg.Invocations, cfg.Iterations
 	if inv == 0 {
@@ -147,16 +183,34 @@ func doSuite(cfg core.Config, style renderStyle) error {
 	runner := harness.NewRunner()
 	var names []string
 	var baselines, treatments []stats.HierarchicalSample
+	var degradedNotes []string
+	opts := harness.Options{Invocations: inv, Iterations: iter, Seed: seed, Noise: np}
 	for _, wl := range workloads.Suite() {
-		interp, jit, err := runner.RunPair(wl, harness.Options{
-			Invocations: inv, Iterations: iter, Seed: seed, Noise: np,
-		})
+		var interp, jit *harness.Result
+		var err error
+		if cfg.Supervised() {
+			so := supervisorOptions(cfg)
+			if cfg.CheckpointDir != "" {
+				so.Checkpoint = harness.FileCheckpoint{
+					Path: filepath.Join(cfg.CheckpointDir, wl.Name+".ckpt.json"),
+				}
+			}
+			interp, jit, err = harness.NewSupervisor(runner, so).RunPair(wl, opts)
+		} else {
+			interp, jit, err = runner.RunPair(wl, opts)
+		}
 		if err != nil {
 			return err
 		}
 		names = append(names, wl.Name)
 		baselines = append(baselines, interp.Hierarchical())
 		treatments = append(treatments, jit.Hierarchical())
+		for _, arm := range []*harness.Result{interp, jit} {
+			if sv := arm.Supervision; sv != nil && sv.Degraded() {
+				degradedNotes = append(degradedNotes,
+					fmt.Sprintf("%s/%s: %s", wl.Name, arm.Mode, sv.Summary()))
+			}
+		}
 	}
 	results := methodology.CompareSuite(names, baselines, treatments,
 		methodology.Rigorous{Seed: seed}, 0.05)
@@ -170,6 +224,13 @@ func doSuite(cfg core.Config, style renderStyle) error {
 	}
 	t.AddRow("GEOMEAN", stats.GeoMean(speedups), "", "", "", "")
 	t.Caption = "Verdicts are Holm–Bonferroni adjusted: family-wise false-positive rate ≤ 5%."
+	if cfg.Supervised() {
+		t.AddFootnote("supervised: faults=%s, retries=%d, quorum=%d",
+			cfg.Faults, cfg.Retries, cfg.Quorum)
+	}
+	for _, n := range degradedNotes {
+		t.AddFootnote("%s", n)
+	}
 	emit(t, style)
 	return nil
 }
@@ -257,8 +318,14 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool) error {
 	if np == (noise.Params{}) {
 		np = noise.Default()
 	}
-	runner := harness.NewRunner()
-	res, err := runner.Run(b, harness.Options{
+	so := supervisorOptions(cfg)
+	if cfg.CheckpointDir != "" {
+		so.Checkpoint = harness.FileCheckpointFor(cfg.CheckpointDir, b.Name, mode)
+	}
+	// Supervision with the zero policy is free (byte-identical to the bare
+	// Runner), so -bench always runs supervised and always reports its
+	// effective N.
+	res, err := harness.NewSupervisor(harness.NewRunner(), so).Run(b, harness.Options{
 		Mode:        mode,
 		Invocations: inv,
 		Iterations:  iter,
@@ -266,16 +333,20 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool) error {
 		Noise:       np,
 	})
 	if err != nil {
+		if res != nil && res.Supervision != nil {
+			fmt.Fprintln(os.Stderr, "pybench:", res.Supervision.Summary())
+		}
 		return err
 	}
 	if jsonOut {
 		return res.WriteJSON(os.Stdout)
 	}
-	hs := res.Hierarchical()
+	hs, srep := stats.Sanitize(res.Hierarchical())
 	means := hs.InvocationMeans()
 	ci := stats.KaliberaMeanCI(hs, 0.95)
 	vd := stats.DecomposeVariance(hs)
 	rep := methodology.ClassifyExperiment(hs)
+	sv := res.Supervision
 
 	t := report.NewTable(fmt.Sprintf("%s / %s (%d×%d, seed %d)", b.Name, mode, inv, iter, seed),
 		"metric", "value")
@@ -287,7 +358,19 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool) error {
 	t.AddRow("between-invocation var frac (%)", 100*vd.BetweenFraction())
 	t.AddRow("steady-state class", rep.Class.String())
 	t.AddRow("mean steady start (iter)", rep.MeanSteadyStart)
-	t.AddRow("checksum", res.Invocations[0].Checksum)
+	t.AddRow("effective N", fmt.Sprintf("%d/%d", hs.EffectiveInvocations(), sv.Planned))
+	t.AddRow("retries / dropped / quarantined",
+		fmt.Sprintf("%d / %d / %d", sv.Retries, sv.Dropped, sv.QuarantinedSamples))
+	if len(res.Invocations) > 0 {
+		t.AddRow("checksum", res.Invocations[0].Checksum)
+	}
+	if sv.Degraded() || sv.InjectedFaults > 0 {
+		t.AddFootnote("%s", sv.Summary())
+	}
+	if !srep.Clean() {
+		t.AddFootnote("analysis sanitized: %d samples quarantined, %d invocations dropped",
+			srep.QuarantinedSamples, srep.DroppedInvocations)
+	}
 	fmt.Print(t.String())
 	return nil
 }

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/noise"
 )
 
@@ -56,5 +61,91 @@ func TestDoProfileAndDisassembleErrors(t *testing.T) {
 func TestDoExperimentsUnknownID(t *testing.T) {
 	if err := doExperiments("T99", core.Config{Invocations: 2, Iterations: 2}, renderText); err == nil {
 		t.Fatal("unknown experiment id must error")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything it printed. f's error fails the test.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, rerr := io.ReadAll(r)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if ferr != nil {
+		t.Fatalf("%v\noutput:\n%s", ferr, out)
+	}
+	return string(out)
+}
+
+func TestSupervisorOptionsMapping(t *testing.T) {
+	cfg := core.Config{Retries: 3, Quorum: 2, Faults: faults.Light(), FaultSeed: 99}
+	so := supervisorOptions(cfg)
+	if so.MaxRetries != 3 || so.Quorum != 2 || so.FaultSeed != 99 || so.Faults != faults.Light() {
+		t.Fatalf("supervision policy lost in translation: %+v", so)
+	}
+	if so.Checkpoint != nil {
+		t.Fatal("checkpoint stores are attached per experiment, not globally")
+	}
+}
+
+func TestDoBenchSupervisedWithFaults(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.Config{
+		Invocations:   3,
+		Iterations:    4,
+		Seed:          7,
+		Noise:         noise.Quiet(),
+		Retries:       4,
+		Quorum:        2,
+		Faults:        faults.Params{PanicProb: 0.3},
+		CheckpointDir: dir,
+	}
+	out := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false) })
+	for _, want := range []string{"effective N", "retries / dropped / quarantined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("supervised -bench output missing %q:\n%s", want, out)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.ckpt.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no checkpoint written to %s (err %v)", dir, err)
+	}
+	// Re-running against the completed checkpoint must succeed (nothing
+	// re-runs) and report the same numbers, plus the resume annotation.
+	again := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false) })
+	if !strings.Contains(again, "resumed at invocation 3") {
+		t.Errorf("resumed -bench missing resume annotation:\n%s", again)
+	}
+	if stripped := strings.ReplaceAll(again, "; resumed at invocation 3", ""); stripped != out {
+		t.Errorf("resumed -bench differs from original:\n--- first\n%s--- resumed\n%s", out, again)
+	}
+}
+
+func TestDoSuiteSupervisedFootnotes(t *testing.T) {
+	cfg := core.Config{
+		Invocations: 2,
+		Iterations:  2,
+		Seed:        7,
+		Noise:       noise.Quiet(),
+		Retries:     3,
+		Quorum:      1,
+		Faults:      faults.Params{PanicProb: 0.2},
+	}
+	out := captureStdout(t, func() error { return doSuite(cfg, renderText) })
+	if !strings.Contains(out, "note: supervised: faults=panic=0.2, retries=3, quorum=1") {
+		t.Errorf("suite output missing supervision footnote:\n%s", out)
+	}
+	if !strings.Contains(out, "GEOMEAN") {
+		t.Errorf("suite table incomplete:\n%s", out)
 	}
 }

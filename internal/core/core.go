@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/methodology"
 	"repro/internal/noise"
@@ -38,6 +39,27 @@ type Config struct {
 	Confidence float64
 	// Benchmarks restricts the suite (nil = full suite).
 	Benchmarks []workloads.Benchmark
+
+	// Supervision policy: when any of these is set, experiments run under
+	// the fault-tolerant harness.Supervisor instead of the bare Runner.
+
+	// Retries is the per-invocation retry budget.
+	Retries int
+	// Quorum is the minimum successful invocations per experiment
+	// (0 = all must succeed).
+	Quorum int
+	// Faults is the injected fault model (zero = none).
+	Faults faults.Params
+	// FaultSeed seeds the fault schedule (0 = the experiment seed).
+	FaultSeed uint64
+	// CheckpointDir, when set, persists per-experiment progress there so
+	// interrupted runs resume without re-running completed invocations.
+	CheckpointDir string
+}
+
+// Supervised reports whether any supervision policy is configured.
+func (c Config) Supervised() bool {
+	return c.Retries > 0 || c.Quorum > 0 || c.Faults.Enabled() || c.CheckpointDir != ""
 }
 
 func (c Config) withDefaults() Config {
@@ -88,16 +110,36 @@ func New(cfg Config) *Engine {
 // Config returns the resolved configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// run executes one benchmark × engine experiment with the configured noise.
+// run executes one benchmark × engine experiment with the configured noise,
+// under the fault-tolerant supervisor when a supervision policy is set.
 func (e *Engine) run(b workloads.Benchmark, mode vm.Mode, inv, iter int, counters bool) (*harness.Result, error) {
-	return e.runner.Run(b, harness.Options{
+	opts := harness.Options{
 		Mode:         mode,
 		Invocations:  inv,
 		Iterations:   iter,
 		Seed:         e.cfg.Seed ^ benchSeed(b.Name, mode),
 		Noise:        e.cfg.Noise,
 		WithCounters: counters,
-	})
+	}
+	if e.cfg.Supervised() {
+		return e.supervisorFor(b.Name, mode).Run(b, opts)
+	}
+	return e.runner.Run(b, opts)
+}
+
+// supervisorFor builds the configured supervisor for one experiment,
+// wiring its checkpoint file when CheckpointDir is set.
+func (e *Engine) supervisorFor(bench string, mode vm.Mode) *harness.Supervisor {
+	so := harness.SupervisorOptions{
+		MaxRetries: e.cfg.Retries,
+		Quorum:     e.cfg.Quorum,
+		Faults:     e.cfg.Faults,
+		FaultSeed:  e.cfg.FaultSeed,
+	}
+	if e.cfg.CheckpointDir != "" {
+		so.Checkpoint = harness.FileCheckpointFor(e.cfg.CheckpointDir, bench, mode)
+	}
+	return harness.NewSupervisor(e.runner, so)
 }
 
 // baseProfile returns the noise-free per-iteration base times of one
@@ -207,6 +249,9 @@ type SpeedupResult struct {
 	Speedup   float64
 	CI        stats.Interval
 	Verdict   methodology.Verdict
+	// Degradation is a human-readable account of lost work under
+	// supervision ("" when both arms ran clean).
+	Degradation string
 }
 
 // CompareEngines runs the rigorous methodology on every configured
@@ -223,14 +268,37 @@ func (e *Engine) CompareEngines() ([]SpeedupResult, float64, error) {
 		}
 		cmp := rig.Compare(ri.Hierarchical(), rj.Hierarchical())
 		out = append(out, SpeedupResult{
-			Benchmark: b.Name,
-			Speedup:   cmp.Speedup,
-			CI:        cmp.CI,
-			Verdict:   cmp.Verdict,
+			Benchmark:   b.Name,
+			Speedup:     cmp.Speedup,
+			CI:          cmp.CI,
+			Verdict:     cmp.Verdict,
+			Degradation: degradationNote(ri, rj),
 		})
 		speedups = append(speedups, cmp.Speedup)
 	}
 	return out, stats.GeoMean(speedups), nil
+}
+
+// degradationNote summarizes lost work across both arms of a comparison
+// ("" when clean or unsupervised).
+func degradationNote(ri, rj *harness.Result) string {
+	note := func(arm string, r *harness.Result) string {
+		sv := r.Supervision
+		if sv == nil || !sv.Degraded() {
+			return ""
+		}
+		return fmt.Sprintf("%s: N %d/%d, %d retries, %d quarantined",
+			arm, sv.EffectiveN(), sv.Planned, sv.Retries, sv.QuarantinedSamples)
+	}
+	ni, nj := note("interp", ri), note("jit", rj)
+	switch {
+	case ni != "" && nj != "":
+		return ni + "; " + nj
+	case ni != "":
+		return ni
+	default:
+		return nj
+	}
 }
 
 func (e *Engine) runPair(b workloads.Benchmark) (*harness.Result, *harness.Result, error) {

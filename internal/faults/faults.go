@@ -1,0 +1,252 @@
+// Package faults defines a deterministic fault-injection model for the
+// benchmarking harness. Real benchmarking campaigns lose invocations to
+// crashes, hangs, corrupted samples, and environment flakiness; a harness
+// that cannot survive those is unusable at scale. This package lets the
+// supervisor rehearse every failure mode on demand, driven by the same
+// seed discipline as internal/noise: the fault schedule for a given
+// (seed, invocation, attempt) triple is a pure function, so a failing run
+// is reproducible bit-for-bit and a retry of the same invocation draws a
+// fresh, but equally deterministic, fate.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Kind enumerates the injectable failure modes, mirroring what field
+// reports from large benchmarking suites (pyperformance, DyPyBench) list
+// as the dominant loss causes.
+type Kind int
+
+// Failure modes.
+const (
+	// None means the invocation proceeds normally.
+	None Kind = iota
+	// Panic crashes the invocation goroutine mid-run (worker segfault /
+	// interpreter abort analogue). The supervisor must recover() it.
+	Panic
+	// Hang makes the invocation exceed its step budget (infinite-loop or
+	// livelock analogue); the VM's budget guard aborts it.
+	Hang
+	// CorruptSample poisons one measured iteration with NaN (timer
+	// glitch / truncated result-file analogue).
+	CorruptSample
+	// WrongChecksum flips the invocation's result checksum (memory
+	// corruption / wrong-answer analogue).
+	WrongChecksum
+	// CompileError fails the invocation before it starts (transient
+	// toolchain or filesystem flake analogue).
+	CompileError
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	case CorruptSample:
+		return "corrupt"
+	case WrongChecksum:
+		return "checksum"
+	case CompileError:
+		return "compile"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Params configures per-attempt fault probabilities. Probabilities are
+// evaluated in a fixed order (panic, hang, corrupt, checksum, compile) from
+// a single uniform draw, so the total fault rate is the sum of the fields
+// (capped at 1) and the schedule is stable under adding new kinds later.
+// The zero value injects nothing.
+type Params struct {
+	// PanicProb is the per-attempt probability of an injected panic.
+	PanicProb float64
+	// HangProb is the per-attempt probability of a step-budget hang.
+	HangProb float64
+	// CorruptProb is the per-attempt probability of a NaN-poisoned sample.
+	CorruptProb float64
+	// ChecksumProb is the per-attempt probability of a flipped checksum.
+	ChecksumProb float64
+	// CompileErrProb is the per-attempt probability of a transient
+	// compile-stage failure.
+	CompileErrProb float64
+}
+
+// Enabled reports whether any fault has a non-zero probability.
+func (p Params) Enabled() bool {
+	return p.PanicProb > 0 || p.HangProb > 0 || p.CorruptProb > 0 ||
+		p.ChecksumProb > 0 || p.CompileErrProb > 0
+}
+
+// Total returns the combined per-attempt fault probability (uncapped).
+func (p Params) Total() float64 {
+	return p.PanicProb + p.HangProb + p.CorruptProb + p.ChecksumProb + p.CompileErrProb
+}
+
+// NoFaults returns the zero model (nothing injected).
+func NoFaults() Params { return Params{} }
+
+// Light returns a mildly flaky environment: ~5% total loss, skewed toward
+// transient compile errors and corrupted samples.
+func Light() Params {
+	return Params{
+		PanicProb:      0.01,
+		HangProb:       0.005,
+		CorruptProb:    0.015,
+		ChecksumProb:   0.005,
+		CompileErrProb: 0.015,
+	}
+}
+
+// Heavy returns a hostile environment: ~30% total loss across all modes,
+// for stress-testing retry/quorum policies.
+func Heavy() Params {
+	return Params{
+		PanicProb:      0.10,
+		HangProb:       0.05,
+		CorruptProb:    0.06,
+		ChecksumProb:   0.03,
+		CompileErrProb: 0.06,
+	}
+}
+
+// kindFields maps spec keys to Params fields, in evaluation order.
+var kindFields = []struct {
+	key string
+	get func(*Params) *float64
+}{
+	{"panic", func(p *Params) *float64 { return &p.PanicProb }},
+	{"hang", func(p *Params) *float64 { return &p.HangProb }},
+	{"corrupt", func(p *Params) *float64 { return &p.CorruptProb }},
+	{"checksum", func(p *Params) *float64 { return &p.ChecksumProb }},
+	{"compile", func(p *Params) *float64 { return &p.CompileErrProb }},
+}
+
+// Parse builds Params from a CLI spec: a preset name ("none", "light",
+// "heavy") or a comma-separated list of kind=probability pairs, e.g.
+// "panic=0.2,hang=0.05". Probabilities must lie in [0, 1].
+func Parse(spec string) (Params, error) {
+	switch strings.TrimSpace(spec) {
+	case "", "none":
+		return NoFaults(), nil
+	case "light":
+		return Light(), nil
+	case "heavy":
+		return Heavy(), nil
+	}
+	var p Params
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return Params{}, fmt.Errorf("faults: bad spec %q (want kind=prob)", part)
+		}
+		key := strings.TrimSpace(kv[0])
+		prob, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return Params{}, fmt.Errorf("faults: bad probability in %q: %v", part, err)
+		}
+		if prob < 0 || prob > 1 {
+			return Params{}, fmt.Errorf("faults: probability %v in %q out of [0, 1]", prob, part)
+		}
+		found := false
+		for _, f := range kindFields {
+			if f.key == key {
+				*f.get(&p) = prob
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Params{}, fmt.Errorf("faults: unknown fault kind %q (known: %s)",
+				key, strings.Join(kindNames(), ", "))
+		}
+	}
+	return p, nil
+}
+
+func kindNames() []string {
+	names := make([]string, len(kindFields))
+	for i, f := range kindFields {
+		names[i] = f.key
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders Params in the same spec syntax Parse accepts, omitting
+// zero entries ("none" when nothing is enabled).
+func (p Params) String() string {
+	var parts []string
+	for _, f := range kindFields {
+		if v := *f.get(&p); v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", f.key, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Fault is one injected-fault decision for a specific attempt.
+type Fault struct {
+	Kind Kind
+	// Iteration is the poisoned iteration index for CorruptSample
+	// (uniform over the attempt's iteration count), otherwise 0.
+	Iteration int
+}
+
+// Injector draws the deterministic fault schedule. Distinct (seed,
+// invocation, attempt) triples draw independent fates; the same triple
+// always draws the same fate, which is what makes fault runs reproducible
+// and checkpoints resumable.
+type Injector struct {
+	p    Params
+	seed uint64
+}
+
+// NewInjector creates an injector for the given model and seed.
+func NewInjector(p Params, seed uint64) *Injector {
+	return &Injector{p: p, seed: seed}
+}
+
+// Params returns the injector's fault model.
+func (inj *Injector) Params() Params { return inj.p }
+
+// Draw decides the fate of one attempt. iterations is the attempt's
+// iteration count, used to place a corrupted sample.
+func (inj *Injector) Draw(invocation, attempt, iterations int) Fault {
+	if inj == nil || !inj.p.Enabled() {
+		return Fault{}
+	}
+	// Salt the stream exactly like noise.NewSource salts invocations, with
+	// an attempt-dependent offset so retries re-roll.
+	id := uint64(invocation)*0x1000003 + uint64(attempt) + 0xFA17
+	rng := stats.NewRNG(inj.seed).Split(id)
+	u := rng.Float64()
+	cum := 0.0
+	for i, f := range kindFields {
+		cum += *f.get(&inj.p)
+		if u < cum {
+			ft := Fault{Kind: Kind(i + 1)}
+			if ft.Kind == CorruptSample && iterations > 0 {
+				ft.Iteration = rng.Intn(iterations)
+			}
+			return ft
+		}
+	}
+	return Fault{}
+}

@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		None: "none", Panic: "panic", Hang: "hang",
+		CorruptSample: "corrupt", WrongChecksum: "checksum", CompileError: "compile",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should render its number")
+	}
+}
+
+func TestParsePresetsAndSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Params
+	}{
+		{"", NoFaults()},
+		{"none", NoFaults()},
+		{"light", Light()},
+		{"heavy", Heavy()},
+		{"panic=0.2", Params{PanicProb: 0.2}},
+		{"panic=0.2,hang=0.05", Params{PanicProb: 0.2, HangProb: 0.05}},
+		{" corrupt=0.1 , checksum=0.02 ", Params{CorruptProb: 0.1, ChecksumProb: 0.02}},
+		{"compile=1", Params{CompileErrProb: 1}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"panic", "panic=x", "panic=1.5", "panic=-0.1", "explode=0.5"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should error", bad)
+		}
+	}
+}
+
+func TestParamsStringRoundTrip(t *testing.T) {
+	p := Params{PanicProb: 0.2, CorruptProb: 0.05}
+	back, err := Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip %+v -> %q -> %+v", p, p.String(), back)
+	}
+	if NoFaults().String() != "none" {
+		t.Fatalf("zero params render as %q", NoFaults().String())
+	}
+}
+
+func TestEnabledAndTotal(t *testing.T) {
+	if NoFaults().Enabled() {
+		t.Fatal("zero params must be disabled")
+	}
+	p := Params{HangProb: 0.1, ChecksumProb: 0.02}
+	if !p.Enabled() {
+		t.Fatal("non-zero params must be enabled")
+	}
+	if got := p.Total(); got < 0.1199 || got > 0.1201 {
+		t.Fatalf("Total() = %v", got)
+	}
+}
+
+func TestDrawDeterministic(t *testing.T) {
+	p := Heavy()
+	a := NewInjector(p, 42)
+	b := NewInjector(p, 42)
+	for inv := 0; inv < 20; inv++ {
+		for att := 0; att < 3; att++ {
+			fa, fb := a.Draw(inv, att, 10), b.Draw(inv, att, 10)
+			if fa != fb {
+				t.Fatalf("same (seed, inv, attempt) drew %v vs %v", fa, fb)
+			}
+		}
+	}
+	// A different seed must give a different schedule somewhere.
+	c := NewInjector(p, 43)
+	diff := false
+	for inv := 0; inv < 50 && !diff; inv++ {
+		if a.Draw(inv, 0, 10) != c.Draw(inv, 0, 10) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical 50-invocation schedules")
+	}
+	// Retries (attempt > 0) must re-roll rather than repeat the fate.
+	same := 0
+	for inv := 0; inv < 100; inv++ {
+		if a.Draw(inv, 0, 10) == a.Draw(inv, 1, 10) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("retry attempts never re-roll the fault")
+	}
+}
+
+func TestDrawRateMatchesParams(t *testing.T) {
+	p := Params{PanicProb: 0.2}
+	inj := NewInjector(p, 7)
+	panics := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		f := inj.Draw(i, 0, 30)
+		switch f.Kind {
+		case Panic:
+			panics++
+		case None:
+		default:
+			t.Fatalf("unexpected kind %v with panic-only params", f.Kind)
+		}
+	}
+	rate := float64(panics) / n
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("panic rate %v, want ~0.2", rate)
+	}
+}
+
+func TestDrawCorruptIterationInRange(t *testing.T) {
+	inj := NewInjector(Params{CorruptProb: 1}, 3)
+	for i := 0; i < 100; i++ {
+		f := inj.Draw(i, 0, 7)
+		if f.Kind != CorruptSample {
+			t.Fatalf("prob 1 must always corrupt, got %v", f.Kind)
+		}
+		if f.Iteration < 0 || f.Iteration >= 7 {
+			t.Fatalf("corrupt iteration %d out of range", f.Iteration)
+		}
+	}
+}
+
+func TestNilAndDisabledInjector(t *testing.T) {
+	var nilInj *Injector
+	if f := nilInj.Draw(0, 0, 10); f.Kind != None {
+		t.Fatal("nil injector must never inject")
+	}
+	if f := NewInjector(NoFaults(), 1).Draw(0, 0, 10); f.Kind != None {
+		t.Fatal("disabled injector must never inject")
+	}
+}

@@ -72,7 +72,10 @@ func (r *Runner) RunAdaptive(b workloads.Benchmark, opts AdaptiveOptions) (*Adap
 	res := &Result{Benchmark: b.Name, Mode: base.Mode, Opts: base}
 	addInvocations := func(n int) error {
 		for i := 0; i < n; i++ {
-			inv, err := r.runInvocation(b, code, base, len(res.Invocations))
+			inv, err := r.runInvocation(code, base, len(res.Invocations))
+			if err == nil {
+				err = validateChecksum(b, inv)
+			}
 			if err != nil {
 				return err
 			}

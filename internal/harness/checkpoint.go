@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// CheckpointStore persists supervisor progress between invocations so an
+// interrupted experiment can resume without re-running completed work.
+// Derive produces an independent sub-store (used to keep the two arms of a
+// RunPair from clobbering each other).
+type CheckpointStore interface {
+	// Load returns the last saved state, or (nil, nil) when none exists.
+	Load() ([]byte, error)
+	// Save atomically replaces the stored state.
+	Save(data []byte) error
+	// Derive returns an independent store namespaced by suffix.
+	Derive(suffix string) CheckpointStore
+}
+
+// deriveCheckpoint is the nil-tolerant form of CheckpointStore.Derive.
+func deriveCheckpoint(base CheckpointStore, suffix string) CheckpointStore {
+	if base == nil {
+		return nil
+	}
+	return base.Derive(suffix)
+}
+
+// FileCheckpoint stores supervisor state in one JSON file. Saves go
+// through a temp-file rename so a kill mid-write can never leave a
+// half-written checkpoint.
+type FileCheckpoint struct {
+	Path string
+}
+
+// Load implements CheckpointStore.
+func (f FileCheckpoint) Load() ([]byte, error) {
+	data, err := os.ReadFile(f.Path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// Save implements CheckpointStore.
+func (f FileCheckpoint) Save(data []byte) error {
+	tmp := f.Path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, f.Path)
+}
+
+// Derive implements CheckpointStore: sibling file with a suffixed name.
+func (f FileCheckpoint) Derive(suffix string) CheckpointStore {
+	ext := filepath.Ext(f.Path)
+	base := strings.TrimSuffix(f.Path, ext)
+	return FileCheckpoint{Path: base + "." + suffix + ext}
+}
+
+// FileCheckpointFor names a checkpoint file for one benchmark × mode
+// inside dir — the layout the CLI's --resume flag uses for suite runs.
+func FileCheckpointFor(dir, bench string, mode vm.Mode) FileCheckpoint {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, bench)
+	return FileCheckpoint{Path: filepath.Join(dir, fmt.Sprintf("%s_%s.ckpt.json", safe, mode))}
+}
+
+// MemCheckpoint is an in-memory store for tests and embedding.
+type MemCheckpoint struct {
+	data     []byte
+	children map[string]*MemCheckpoint
+}
+
+// NewMemCheckpoint returns an empty in-memory store.
+func NewMemCheckpoint() *MemCheckpoint { return &MemCheckpoint{} }
+
+// Load implements CheckpointStore.
+func (m *MemCheckpoint) Load() ([]byte, error) { return m.data, nil }
+
+// Save implements CheckpointStore.
+func (m *MemCheckpoint) Save(data []byte) error {
+	m.data = append([]byte(nil), data...)
+	return nil
+}
+
+// Derive implements CheckpointStore; derived stores are stable per suffix.
+func (m *MemCheckpoint) Derive(suffix string) CheckpointStore {
+	if m.children == nil {
+		m.children = map[string]*MemCheckpoint{}
+	}
+	child, ok := m.children[suffix]
+	if !ok {
+		child = NewMemCheckpoint()
+		m.children[suffix] = child
+	}
+	return child
+}
+
+// Snapshot returns a copy of the current state (tests use this to simulate
+// a mid-run kill by restoring an older snapshot).
+func (m *MemCheckpoint) Snapshot() []byte { return append([]byte(nil), m.data...) }
+
+// Restore overwrites the state with a snapshot.
+func (m *MemCheckpoint) Restore(data []byte) { m.data = append([]byte(nil), data...) }
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointState is the serialized supervisor progress: the experiment's
+// identity key, the partial Result (successful invocations plus the full
+// supervision log), and the next invocation index to run.
+type checkpointState struct {
+	Version        int
+	Key            string
+	NextInvocation int
+	Result         *Result
+}
+
+// checkpointKey derives the experiment identity a checkpoint belongs to.
+// Resuming under any changed configuration — different benchmark, seed,
+// design, fault model, or retry policy — is refused rather than silently
+// mixing incompatible partial results.
+func checkpointKey(b workloads.Benchmark, opts Options, so SupervisorOptions, faultSeed uint64) string {
+	return fmt.Sprintf("v%d|%s|%s|seed=%d|inv=%d|iter=%d|noise=%+v|cost=%+v|counters=%v|freq=%g|maxsteps=%d|wall=%s|faults=%s|fseed=%d|retries=%d|quorum=%d",
+		checkpointVersion, b.Name, opts.Mode, opts.Seed, opts.Invocations,
+		opts.Iterations, opts.Noise, opts.Cost, opts.WithCounters, opts.FreqGHz,
+		opts.MaxStepsPerInvocation, opts.WallBudget,
+		so.Faults, faultSeed, so.MaxRetries, so.Quorum)
+}
+
+// loadCheckpoint restores saved progress. Returns (nil, 0, nil) when no
+// checkpoint exists; errors when one exists but belongs to a different
+// experiment configuration or cannot be decoded.
+func loadCheckpoint(store CheckpointStore, key string) (*Result, int, error) {
+	data, err := store.Load()
+	if err != nil {
+		return nil, 0, fmt.Errorf("loading checkpoint: %w", err)
+	}
+	if data == nil {
+		return nil, 0, nil
+	}
+	var st checkpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, 0, fmt.Errorf("decoding checkpoint: %w", err)
+	}
+	if st.Key != key {
+		return nil, 0, fmt.Errorf("checkpoint belongs to a different experiment (saved %q, running %q); delete it or rerun with the original configuration",
+			st.Key, key)
+	}
+	if st.Result == nil || st.Result.Supervision == nil {
+		return nil, 0, fmt.Errorf("checkpoint has no supervised result state")
+	}
+	return st.Result, st.NextInvocation, nil
+}
+
+// saveCheckpoint persists progress after one completed invocation slot.
+func saveCheckpoint(store CheckpointStore, key string, res *Result, next int) error {
+	data, err := json.Marshal(checkpointState{
+		Version:        checkpointVersion,
+		Key:            key,
+		NextInvocation: next,
+		Result:         res,
+	})
+	if err != nil {
+		return err
+	}
+	return store.Save(data)
+}

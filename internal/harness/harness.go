@@ -7,6 +7,8 @@ package harness
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/counters"
 	"repro/internal/minipy"
@@ -34,6 +36,10 @@ type Options struct {
 	FreqGHz float64
 	// MaxStepsPerInvocation bounds runaway workloads (0 = default 2^32).
 	MaxStepsPerInvocation uint64
+	// WallBudget bounds one invocation's real elapsed time (0 = none).
+	// Unlike the step budget it depends on the host clock, so it exists
+	// for supervision (kill a hung invocation), not for measurement.
+	WallBudget time.Duration `json:",omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +88,10 @@ type Result struct {
 	Mode        vm.Mode
 	Opts        Options
 	Invocations []Invocation
+	// Supervision records fault-tolerance accounting (retries, drops,
+	// quarantined samples) when the experiment ran under a Supervisor;
+	// nil for plain Runner runs.
+	Supervision *Supervision `json:",omitempty"`
 }
 
 // Hierarchical converts the measured times into the two-level sample shape
@@ -118,8 +128,11 @@ func (r *Result) CyclesMatrix() [][]uint64 {
 }
 
 // Runner executes experiments. Compiled workloads are cached, so repeated
-// experiments on the same benchmark skip the front end.
+// experiments on the same benchmark skip the front end. The cache is
+// mutex-guarded so supervised runs can fan invocations out across
+// goroutines without racing the front end.
 type Runner struct {
+	mu        sync.Mutex
 	codeCache map[string]*minipy.Code
 }
 
@@ -129,6 +142,8 @@ func NewRunner() *Runner {
 }
 
 func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c, ok := r.codeCache[b.Name]; ok {
 		return c, nil
 	}
@@ -149,7 +164,10 @@ func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 	}
 	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts}
 	for i := 0; i < opts.Invocations; i++ {
-		inv, err := r.runInvocation(b, code, opts, i)
+		inv, err := r.runInvocation(code, opts, i)
+		if err == nil {
+			err = validateChecksum(b, inv)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s invocation %d: %w", b.Name, i, err)
 		}
@@ -158,9 +176,20 @@ func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// validateChecksum checks an invocation's result checksum against the
+// benchmark's declared expectation (skipped when none is declared).
+func validateChecksum(b workloads.Benchmark, inv *Invocation) error {
+	if b.Checksum != "" && inv.Checksum != b.Checksum {
+		return fmt.Errorf("checksum mismatch: got %s, want %s", inv.Checksum, b.Checksum)
+	}
+	return nil
+}
+
 // runInvocation simulates one fresh VM process: module import (setup), then
-// opts.Iterations timed calls of run().
-func (r *Runner) runInvocation(b workloads.Benchmark, code *minipy.Code,
+// opts.Iterations timed calls of run(). Checksum validation against the
+// benchmark's expectation is the caller's job (the supervisor corrupts the
+// checksum first when injecting that fault).
+func (r *Runner) runInvocation(code *minipy.Code,
 	opts Options, invIdx int) (*Invocation, error) {
 	var probe vm.Probe
 	var model *counters.Model
@@ -168,11 +197,22 @@ func (r *Runner) runInvocation(b workloads.Benchmark, code *minipy.Code,
 		model = counters.NewModel()
 		probe = model
 	}
+	var abort func() error
+	if opts.WallBudget > 0 {
+		deadline := time.Now().Add(opts.WallBudget)
+		abort = func() error {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("wall budget %s exceeded", opts.WallBudget)
+			}
+			return nil
+		}
+	}
 	engine := vm.New(vm.Config{
-		Mode:     opts.Mode,
-		Cost:     opts.Cost,
-		Probe:    probe,
-		MaxSteps: opts.MaxStepsPerInvocation,
+		Mode:       opts.Mode,
+		Cost:       opts.Cost,
+		Probe:      probe,
+		MaxSteps:   opts.MaxStepsPerInvocation,
+		AbortCheck: abort,
 	})
 	if _, err := engine.RunModule(code); err != nil {
 		return nil, fmt.Errorf("module setup: %w", err)
@@ -201,9 +241,6 @@ func (r *Runner) runInvocation(b workloads.Benchmark, code *minipy.Code,
 	if last != nil {
 		inv.Checksum = last.Repr()
 	}
-	if b.Checksum != "" && inv.Checksum != b.Checksum {
-		return nil, fmt.Errorf("checksum mismatch: got %s, want %s", inv.Checksum, b.Checksum)
-	}
 	if model != nil {
 		snap := model.Snapshot()
 		inv.Counters = &snap
@@ -214,25 +251,40 @@ func (r *Runner) runInvocation(b workloads.Benchmark, code *minipy.Code,
 }
 
 // RunPair runs the same benchmark under both engines with the same options
-// and validates that the engines produce identical checksums.
+// and validates that the engines produce identical checksums. A failure in
+// either arm is wrapped with the benchmark name and engine mode, so a
+// multi-benchmark campaign report pinpoints what broke.
 func (r *Runner) RunPair(b workloads.Benchmark, opts Options) (interp, jit *Result, err error) {
 	oi := opts
 	oi.Mode = vm.ModeInterp
 	interp, err = r.Run(b, oi)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("harness: %s [%s arm]: %w", b.Name, oi.Mode, err)
 	}
 	oj := opts
 	oj.Mode = vm.ModeJIT
 	jit, err = r.Run(b, oj)
 	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %s [%s arm]: %w", b.Name, oj.Mode, err)
+	}
+	if err := pairChecksumError(b.Name, interp, jit); err != nil {
 		return nil, nil, err
+	}
+	return interp, jit, nil
+}
+
+// pairChecksumError validates cross-engine agreement: both arms of a pair
+// must produce the same result checksum, or the comparison is measuring
+// two different computations.
+func pairChecksumError(bench string, interp, jit *Result) error {
+	if len(interp.Invocations) == 0 || len(jit.Invocations) == 0 {
+		return fmt.Errorf("harness: %s: cannot validate checksums without invocations", bench)
 	}
 	ci := interp.Invocations[0].Checksum
 	cj := jit.Invocations[0].Checksum
 	if ci != cj {
-		return nil, nil, fmt.Errorf("harness: engines disagree on %s: interp=%s jit=%s",
-			b.Name, ci, cj)
+		return fmt.Errorf("harness: engines disagree on %s: interp=%s jit=%s",
+			bench, ci, cj)
 	}
-	return interp, jit, nil
+	return nil
 }

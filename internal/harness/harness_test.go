@@ -185,15 +185,97 @@ func TestRunPairValidatesChecksums(t *testing.T) {
 	}
 }
 
-func TestChecksumMismatchDetected(t *testing.T) {
-	r := NewRunner()
+// TestChecksumValidation is the table-driven coverage of the cross-engine
+// result-validation path: declared-checksum agreement, deliberate
+// mismatches under both engines, and the arm labelling RunPair adds.
+func TestChecksumValidation(t *testing.T) {
+	mk := func(ret, want string) workloads.Benchmark {
+		return workloads.Benchmark{
+			Name:     "chk",
+			Source:   "def run():\n    return " + ret,
+			Checksum: want,
+		}
+	}
+	opts := Options{Invocations: 1, Iterations: 1}
+	cases := []struct {
+		name    string
+		bench   workloads.Benchmark
+		mode    vm.Mode
+		wantErr string // "" = must succeed
+	}{
+		{"interp match", mk("1", "1"), vm.ModeInterp, ""},
+		{"jit match", mk("1", "1"), vm.ModeJIT, ""},
+		{"interp mismatch", mk("1", "2"), vm.ModeInterp, "checksum mismatch: got 1, want 2"},
+		{"jit mismatch", mk("1", "2"), vm.ModeJIT, "checksum mismatch: got 1, want 2"},
+		{"no declared checksum", mk("1", ""), vm.ModeInterp, ""},
+		{"string repr", mk("'ok'", "'ok'"), vm.ModeInterp, ""},
+		{"string mismatch", mk("'ok'", "'no'"), vm.ModeJIT, "checksum mismatch"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := opts
+			o.Mode = c.mode
+			_, err := NewRunner().Run(c.bench, o)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("want error containing %q, got %v", c.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestPairChecksumError exercises the engine-agreement check directly with
+// fabricated results, including the disagreement case the end-to-end path
+// cannot produce (both engines share semantics by construction).
+func TestPairChecksumError(t *testing.T) {
+	res := func(sum string) *Result {
+		return &Result{Invocations: []Invocation{{Checksum: sum}}}
+	}
+	cases := []struct {
+		name        string
+		interp, jit *Result
+		wantErr     string
+	}{
+		{"agree", res("42"), res("42"), ""},
+		{"disagree", res("42"), res("43"), "engines disagree on b: interp=42 jit=43"},
+		{"empty interp", &Result{}, res("42"), "cannot validate"},
+		{"empty jit", res("42"), &Result{}, "cannot validate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := pairChecksumError("b", c.interp, c.jit)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("want %q, got %v", c.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestRunPairFailureNamesBenchmarkAndArm(t *testing.T) {
 	bad := workloads.Benchmark{
-		Name:     "bad",
+		Name:     "badsum",
 		Source:   "def run():\n    return 1",
 		Checksum: "2",
 	}
-	if _, err := r.Run(bad, Options{Invocations: 1, Iterations: 1}); err == nil {
-		t.Fatal("checksum mismatch must error")
+	_, _, err := NewRunner().RunPair(bad, Options{Invocations: 1, Iterations: 1})
+	if err == nil {
+		t.Fatal("checksum mismatch must fail the pair")
+	}
+	for _, want := range []string{"badsum", "[interp arm]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("pair error %q missing %q", err.Error(), want)
+		}
 	}
 }
 
@@ -206,6 +288,31 @@ func TestModuleSetupErrorSurfaces(t *testing.T) {
 	noRun := workloads.Benchmark{Name: "norun", Source: "x = 1"}
 	if _, err := r.Run(noRun, Options{Invocations: 1, Iterations: 1}); err == nil {
 		t.Fatal("missing run() must error")
+	}
+}
+
+func TestCompiledCacheConcurrent(t *testing.T) {
+	// The code cache must be safe under concurrent Run calls (checked
+	// under -race in `make verify`); results stay deterministic per seed.
+	r := NewRunner()
+	benches := []string{"fib", "collatz", "quicksort"}
+	errc := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		name := benches[i%len(benches)]
+		go func() {
+			b, ok := workloads.ByName(name)
+			if !ok {
+				errc <- nil
+				return
+			}
+			_, err := r.Run(b, Options{Invocations: 1, Iterations: 2, Seed: 1})
+			errc <- err
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

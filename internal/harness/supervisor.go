@@ -1,0 +1,386 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/minipy"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// InvocationStatus classifies how one supervised invocation ended.
+type InvocationStatus string
+
+// Invocation outcomes.
+const (
+	// StatusClean means the invocation succeeded on its first attempt.
+	StatusClean InvocationStatus = "clean"
+	// StatusRecovered means the invocation succeeded after one or more
+	// retries.
+	StatusRecovered InvocationStatus = "recovered"
+	// StatusDropped means every attempt failed; the invocation contributes
+	// no samples and shrinks the experiment's effective N.
+	StatusDropped InvocationStatus = "dropped"
+)
+
+// AttemptRecord documents one attempt at one invocation.
+type AttemptRecord struct {
+	Attempt int
+	// Fault names the injected fault kind, "" when none was injected.
+	Fault string `json:",omitempty"`
+	// Error is the failure description, "" when the attempt succeeded.
+	Error string `json:",omitempty"`
+	// BackoffMs is the deterministic backoff scheduled before the next
+	// attempt (recorded, and slept only when RealBackoff is set).
+	BackoffMs int64 `json:",omitempty"`
+}
+
+// InvocationLog is the supervised history of one invocation slot.
+type InvocationLog struct {
+	Index    int
+	Status   InvocationStatus
+	Attempts []AttemptRecord
+}
+
+// Supervision is the fault-tolerance accounting of one supervised
+// experiment. It rides on Result so both the JSON export and the report
+// layer can surface exactly how degraded a run was.
+type Supervision struct {
+	// Planned is the requested invocation count N.
+	Planned int
+	// Quorum is the minimum successful invocations required (K of N).
+	Quorum int
+	// MaxRetries is the per-invocation retry budget.
+	MaxRetries int
+	// Faults is the injected fault model ("none" when disabled).
+	Faults faults.Params
+	// FaultSeed drives the deterministic fault schedule.
+	FaultSeed uint64
+	// Clean counts invocations that succeeded first try.
+	Clean int
+	// Recovered counts invocations that succeeded after retries.
+	Recovered int
+	// Dropped counts invocations whose every attempt failed.
+	Dropped int
+	// Attempts is the total attempt count across all invocations.
+	Attempts int
+	// Retries is the total retry count (attempts beyond each first).
+	Retries int
+	// InjectedFaults counts attempts that had a fault injected.
+	InjectedFaults int
+	// QuarantinedSamples counts corrupted (NaN/inf/non-positive) samples
+	// detected and discarded together with their attempt.
+	QuarantinedSamples int
+	// ResumedFrom is the invocation index execution resumed at after a
+	// checkpoint restore (0 = fresh run).
+	ResumedFrom int `json:",omitempty"`
+	// Log is the per-invocation attempt history.
+	Log []InvocationLog
+}
+
+// EffectiveN is the number of invocations that contributed samples.
+func (s *Supervision) EffectiveN() int { return s.Clean + s.Recovered }
+
+// Degraded reports whether the experiment lost any work: dropped
+// invocations, retried invocations, or quarantined samples.
+func (s *Supervision) Degraded() bool {
+	return s.Dropped > 0 || s.Recovered > 0 || s.QuarantinedSamples > 0
+}
+
+// Summary renders a one-line human-readable account, suitable as a table
+// footnote.
+func (s *Supervision) Summary() string {
+	msg := fmt.Sprintf(
+		"supervision: effective N %d/%d (%d clean, %d recovered, %d dropped); %d attempts, %d retries, %d injected faults, %d quarantined samples; quorum %d",
+		s.EffectiveN(), s.Planned, s.Clean, s.Recovered, s.Dropped,
+		s.Attempts, s.Retries, s.InjectedFaults, s.QuarantinedSamples, s.Quorum)
+	if s.ResumedFrom > 0 {
+		msg += fmt.Sprintf("; resumed at invocation %d", s.ResumedFrom)
+	}
+	return msg
+}
+
+// SupervisorOptions configures the fault-tolerant execution policy.
+type SupervisorOptions struct {
+	// MaxRetries is the retry budget per invocation (0 = no retries).
+	MaxRetries int
+	// Quorum is the minimum successful invocations for the experiment to
+	// succeed. 0 (or > N) means all N must succeed.
+	Quorum int
+	// Faults is the injected fault model (zero value = none). Real-world
+	// failures (panics, budget blowouts, bad samples) are handled the same
+	// way whether or not injection is on.
+	Faults faults.Params
+	// FaultSeed seeds the fault schedule; 0 means use Options.Seed, so a
+	// fault run is reproducible from the experiment seed alone.
+	FaultSeed uint64
+	// BackoffBase is the deterministic retry backoff base; attempt k
+	// schedules BackoffBase << k. Defaults to 100ms. Backoff is recorded
+	// in the attempt log and only actually slept when RealBackoff is set,
+	// keeping simulated experiments instant and deterministic.
+	BackoffBase time.Duration
+	// RealBackoff makes the supervisor actually sleep its backoff.
+	RealBackoff bool
+	// Checkpoint, when non-nil, persists progress after every invocation
+	// so an interrupted experiment resumes without re-running completed
+	// work.
+	Checkpoint CheckpointStore
+}
+
+func (so SupervisorOptions) withDefaults() SupervisorOptions {
+	if so.BackoffBase <= 0 {
+		so.BackoffBase = 100 * time.Millisecond
+	}
+	if so.MaxRetries < 0 {
+		so.MaxRetries = 0
+	}
+	return so
+}
+
+// Supervisor wraps a Runner with crash isolation, per-invocation budgets,
+// bounded retry, a quorum policy, and checkpoint/resume. With the zero
+// SupervisorOptions it produces byte-identical results to Runner.Run —
+// supervision is free until something goes wrong.
+type Supervisor struct {
+	r    *Runner
+	opts SupervisorOptions
+}
+
+// NewSupervisor wraps a runner with the given policy.
+func NewSupervisor(r *Runner, opts SupervisorOptions) *Supervisor {
+	return &Supervisor{r: r, opts: opts.withDefaults()}
+}
+
+// experimentSalt derives a per-(benchmark, mode) fault-seed offset (FNV-1a
+// over the name, mixed with the mode).
+func experimentSalt(name string, mode vm.Mode) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h ^ uint64(mode+1)<<40
+}
+
+// retrySalt offsets the noise-stream invocation id on retries so a fresh
+// attempt draws fresh noise (a real re-invocation would), without
+// colliding with any first-attempt index.
+const retrySalt = 1 << 20
+
+// hangBudgetSteps is the tiny step budget used to realize an injected
+// hang: the VM's own budget guard aborts the invocation, exercising the
+// exact path a real runaway workload takes.
+const hangBudgetSteps = 1
+
+// Run executes the experiment under supervision.
+func (s *Supervisor) Run(b workloads.Benchmark, opts Options) (*Result, error) {
+	return s.runWith(b, opts, s.opts.Checkpoint)
+}
+
+// runWith is Run with an explicit checkpoint store (RunPair gives each arm
+// its own derived store).
+func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt CheckpointStore) (*Result, error) {
+	opts = opts.withDefaults()
+	code, err := s.r.compiled(b)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
+	faultSeed := s.opts.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = opts.Seed
+	}
+	// Salt the schedule per experiment so benchmarks and arms sharing one
+	// campaign seed still draw independent fault fates (the same
+	// discipline benchSeed applies to noise streams).
+	faultSeed ^= experimentSalt(b.Name, opts.Mode)
+	inj := faults.NewInjector(s.opts.Faults, faultSeed)
+	quorum := s.opts.Quorum
+	if quorum <= 0 || quorum > opts.Invocations {
+		quorum = opts.Invocations
+	}
+
+	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts}
+	res.Supervision = &Supervision{
+		Planned:    opts.Invocations,
+		Quorum:     quorum,
+		MaxRetries: s.opts.MaxRetries,
+		Faults:     s.opts.Faults,
+		FaultSeed:  faultSeed,
+	}
+	key := checkpointKey(b, opts, s.opts, faultSeed)
+	start := 0
+	if ckpt != nil {
+		restored, next, err := loadCheckpoint(ckpt, key)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+		}
+		if restored != nil {
+			res = restored
+			start = next
+			res.Supervision.ResumedFrom = start
+		}
+	}
+	sup := res.Supervision
+
+	for i := start; i < opts.Invocations; i++ {
+		lg := s.superviseInvocation(b, code, opts, i, inj, res)
+		sup.Log = append(sup.Log, lg)
+		switch lg.Status {
+		case StatusClean:
+			sup.Clean++
+		case StatusRecovered:
+			sup.Recovered++
+		case StatusDropped:
+			sup.Dropped++
+		}
+		if ckpt != nil {
+			if err := saveCheckpoint(ckpt, key, res, i+1); err != nil {
+				return nil, fmt.Errorf("harness: %s: checkpointing: %w", b.Name, err)
+			}
+		}
+	}
+
+	if sup.EffectiveN() < quorum {
+		// The partial result is returned alongside the error so callers
+		// can still report *how* the experiment degraded.
+		return res, fmt.Errorf(
+			"harness: %s/%s: quorum not met: %d of %d invocations succeeded (need %d; %d dropped after %d retries)",
+			b.Name, opts.Mode, sup.EffectiveN(), sup.Planned, quorum, sup.Dropped, sup.Retries)
+	}
+	return res, nil
+}
+
+// superviseInvocation drives one invocation slot through its retry budget
+// and returns its log. Successful attempts append their measurement to
+// res.Invocations and tally the supervision counters on res.
+func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Code,
+	opts Options, invIdx int, inj *faults.Injector, res *Result) InvocationLog {
+	sup := res.Supervision
+	lg := InvocationLog{Index: invIdx, Status: StatusDropped}
+	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
+		fault := inj.Draw(invIdx, attempt, opts.Iterations)
+		sup.Attempts++
+		if attempt > 0 {
+			sup.Retries++
+		}
+		rec := AttemptRecord{Attempt: attempt}
+		if fault.Kind != faults.None {
+			sup.InjectedFaults++
+			rec.Fault = fault.Kind.String()
+		}
+		inv, err := s.attempt(code, opts, invIdx, attempt, fault)
+		if err == nil {
+			var quarantined int
+			quarantined, err = validateSamples(inv)
+			sup.QuarantinedSamples += quarantined
+		}
+		if err == nil {
+			err = validateChecksum(b, inv)
+		}
+		if err == nil {
+			lg.Attempts = append(lg.Attempts, rec)
+			if attempt == 0 {
+				lg.Status = StatusClean
+			} else {
+				lg.Status = StatusRecovered
+			}
+			res.Invocations = append(res.Invocations, *inv)
+			return lg
+		}
+		rec.Error = err.Error()
+		if attempt < s.opts.MaxRetries {
+			backoff := s.opts.BackoffBase << uint(attempt)
+			rec.BackoffMs = backoff.Milliseconds()
+			if s.opts.RealBackoff {
+				time.Sleep(backoff)
+			}
+		}
+		lg.Attempts = append(lg.Attempts, rec)
+	}
+	return lg
+}
+
+// attempt runs a single isolated invocation attempt. Panics — injected or
+// genuine engine bugs — are recovered and converted into ordinary attempt
+// failures, so one bad invocation can never take the campaign down.
+func (s *Supervisor) attempt(code *minipy.Code, opts Options, invIdx, attempt int,
+	fault faults.Fault) (inv *Invocation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inv, err = nil, fmt.Errorf("invocation panicked: %v", r)
+		}
+	}()
+
+	noiseIdx := invIdx
+	if attempt > 0 {
+		noiseIdx = invIdx + attempt*retrySalt
+	}
+	switch fault.Kind {
+	case faults.CompileError:
+		return nil, fmt.Errorf("faults: injected transient compile error")
+	case faults.Panic:
+		panic(fmt.Sprintf("faults: injected panic (invocation %d, attempt %d)", invIdx, attempt))
+	case faults.Hang:
+		// Shrink the step budget to the point where the VM's own guard
+		// must fire, simulating a hung invocation being reaped.
+		o := opts
+		o.MaxStepsPerInvocation = hangBudgetSteps
+		return s.r.runInvocation(code, o, noiseIdx)
+	}
+	inv, err = s.r.runInvocation(code, opts, noiseIdx)
+	if err != nil {
+		return nil, err
+	}
+	switch fault.Kind {
+	case faults.CorruptSample:
+		if fault.Iteration < len(inv.TimesSec) {
+			inv.TimesSec[fault.Iteration] = math.NaN()
+		}
+	case faults.WrongChecksum:
+		inv.Checksum = "corrupted:" + inv.Checksum
+	}
+	return inv, nil
+}
+
+// validateSamples scans an invocation's measurements for corrupted values
+// (NaN, infinite, or non-positive times). A corrupted attempt is discarded
+// whole — partial invocations would unbalance the two-level design the
+// statistics assume — and the bad-sample count is surfaced as quarantined.
+func validateSamples(inv *Invocation) (quarantined int, err error) {
+	for _, ts := range inv.TimesSec {
+		if math.IsNaN(ts) || math.IsInf(ts, 0) || ts <= 0 {
+			quarantined++
+		}
+	}
+	if quarantined > 0 {
+		return quarantined, fmt.Errorf("%d corrupted sample(s) quarantined", quarantined)
+	}
+	return 0, nil
+}
+
+// RunPair is the supervised analogue of Runner.RunPair: both arms run
+// under the same policy, failures are labelled with benchmark and arm, and
+// cross-engine checksum agreement is validated on the surviving
+// invocations.
+func (s *Supervisor) RunPair(b workloads.Benchmark, opts Options) (interp, jit *Result, err error) {
+	base := s.opts.Checkpoint
+	oi := opts
+	oi.Mode = vm.ModeInterp
+	interp, err = s.runWith(b, oi, deriveCheckpoint(base, "interp"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %s [interp arm]: %w", b.Name, err)
+	}
+	oj := opts
+	oj.Mode = vm.ModeJIT
+	jit, err = s.runWith(b, oj, deriveCheckpoint(base, "jit"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %s [jit arm]: %w", b.Name, err)
+	}
+	if err := pairChecksumError(b.Name, interp, jit); err != nil {
+		return nil, nil, err
+	}
+	return interp, jit, nil
+}

@@ -17,6 +17,15 @@ type Table struct {
 	Header  []string
 	Rows    [][]string
 	Caption string
+	// Footnotes are degradation/annotation lines rendered after the
+	// caption — the report layer's channel for "this experiment lost
+	// work" (retries, dropped invocations, quarantined samples).
+	Footnotes []string
+}
+
+// AddFootnote appends an annotation line to the table.
+func (t *Table) AddFootnote(format string, args ...interface{}) {
+	t.Footnotes = append(t.Footnotes, fmt.Sprintf(format, args...))
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -99,6 +108,9 @@ func (t *Table) Render(w io.Writer) {
 	}
 	if t.Caption != "" {
 		fmt.Fprintf(w, "%s\n", t.Caption)
+	}
+	for _, fn := range t.Footnotes {
+		fmt.Fprintf(w, "note: %s\n", fn)
 	}
 }
 
@@ -282,5 +294,8 @@ func (t *Table) Markdown(w io.Writer) {
 	}
 	if t.Caption != "" {
 		fmt.Fprintf(w, "\n*%s*\n", t.Caption)
+	}
+	for _, fn := range t.Footnotes {
+		fmt.Fprintf(w, "\n> %s\n", fn)
 	}
 }

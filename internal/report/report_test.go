@@ -122,6 +122,28 @@ func TestTableHandlesIntsAndStrings(t *testing.T) {
 	}
 }
 
+func TestTableFootnotes(t *testing.T) {
+	tbl := NewTable("FN", "a")
+	tbl.AddRow("x")
+	tbl.Caption = "cap"
+	tbl.AddFootnote("effective N %d/%d", 8, 10)
+	tbl.AddFootnote("plain note")
+	out := tbl.String()
+	for _, want := range []string{"cap", "note: effective N 8/10", "note: plain note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "cap") > strings.Index(out, "note: effective") {
+		t.Error("footnotes must render after the caption")
+	}
+	var sb strings.Builder
+	tbl.Markdown(&sb)
+	if !strings.Contains(sb.String(), "> effective N 8/10") {
+		t.Errorf("markdown render missing footnote:\n%s", sb.String())
+	}
+}
+
 func TestTableMarkdown(t *testing.T) {
 	tbl := NewTable("MD", "name", "v")
 	tbl.AddRow("a|b", 1.0)

@@ -1,0 +1,62 @@
+package stats
+
+import "math"
+
+// This file makes the statistics layer degradation-aware: a supervised
+// experiment can lose invocations (crashes, quorum drops) or individual
+// samples (quarantined corruption), and the analyses must (a) keep working
+// on the surviving data and (b) surface exactly how much was lost, so a
+// degraded experiment reads as degraded rather than silently narrower.
+
+// EffectiveInvocations counts the invocations that actually contributed
+// samples — the N that CI degrees-of-freedom really rest on.
+func (h HierarchicalSample) EffectiveInvocations() int {
+	n := 0
+	for _, inv := range h.Times {
+		if len(inv) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SanitizeReport accounts for what Sanitize removed.
+type SanitizeReport struct {
+	// DroppedInvocations is the number of all-empty (or fully corrupted)
+	// invocation rows removed.
+	DroppedInvocations int
+	// QuarantinedSamples is the number of non-finite or non-positive
+	// samples removed from surviving invocations.
+	QuarantinedSamples int
+}
+
+// Clean reports whether nothing was removed.
+func (r SanitizeReport) Clean() bool {
+	return r.DroppedInvocations == 0 && r.QuarantinedSamples == 0
+}
+
+// Sanitize returns a copy of h with corrupted samples (NaN, ±Inf, or
+// non-positive times) quarantined and empty invocations dropped, plus the
+// accounting of what was removed. Analyses on the sanitized sample are
+// well-defined; the report layer is expected to annotate results with the
+// removal counts whenever the report is not Clean.
+func Sanitize(h HierarchicalSample) (HierarchicalSample, SanitizeReport) {
+	var rep SanitizeReport
+	out := HierarchicalSample{Times: make([][]float64, 0, len(h.Times))}
+	for _, inv := range h.Times {
+		kept := make([]float64, 0, len(inv))
+		for _, t := range inv {
+			if math.IsNaN(t) || math.IsInf(t, 0) || t <= 0 {
+				rep.QuarantinedSamples++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		if len(kept) == 0 {
+			rep.DroppedInvocations++
+			continue
+		}
+		out.Times = append(out.Times, kept)
+	}
+	return out, rep
+}

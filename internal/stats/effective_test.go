@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEffectiveInvocations(t *testing.T) {
+	cases := []struct {
+		times [][]float64
+		want  int
+	}{
+		{nil, 0},
+		{[][]float64{{1, 2}, {3, 4}}, 2},
+		{[][]float64{{1, 2}, nil, {3}}, 2},
+		{[][]float64{nil, {}}, 0},
+	}
+	for _, c := range cases {
+		h := HierarchicalSample{Times: c.times}
+		if got := h.EffectiveInvocations(); got != c.want {
+			t.Errorf("EffectiveInvocations(%v) = %d, want %d", c.times, got, c.want)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	h := HierarchicalSample{Times: [][]float64{
+		{1, 2, 3},         // clean
+		{1, nan, 3},       // one quarantined sample
+		{nan, inf, -1, 0}, // fully corrupted -> dropped invocation
+		nil,               // empty -> dropped
+		{4, 5},            // clean
+	}}
+	clean, rep := Sanitize(h)
+	if rep.Clean() {
+		t.Fatal("report must not be clean")
+	}
+	if rep.QuarantinedSamples != 5 {
+		t.Fatalf("quarantined %d, want 5", rep.QuarantinedSamples)
+	}
+	if rep.DroppedInvocations != 2 {
+		t.Fatalf("dropped %d, want 2", rep.DroppedInvocations)
+	}
+	if len(clean.Times) != 3 {
+		t.Fatalf("surviving invocations %d, want 3", len(clean.Times))
+	}
+	if len(clean.Times[1]) != 2 || clean.Times[1][0] != 1 || clean.Times[1][1] != 3 {
+		t.Fatalf("partial invocation mis-sanitized: %v", clean.Times[1])
+	}
+	// Analyses work on the sanitized sample.
+	if m := Mean(clean.InvocationMeans()); math.IsNaN(m) {
+		t.Fatal("sanitized sample still produces NaN analyses")
+	}
+	// The original is untouched.
+	if !math.IsNaN(h.Times[1][1]) {
+		t.Fatal("Sanitize must not mutate its input")
+	}
+}
+
+func TestSanitizeCleanPassThrough(t *testing.T) {
+	h := HierarchicalSample{Times: [][]float64{{1, 2}, {3, 4}}}
+	clean, rep := Sanitize(h)
+	if !rep.Clean() {
+		t.Fatalf("clean input flagged: %+v", rep)
+	}
+	if len(clean.Times) != 2 || clean.Times[0][0] != 1 || clean.Times[1][1] != 4 {
+		t.Fatalf("clean input altered: %v", clean.Times)
+	}
+}

@@ -1,0 +1,75 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// loopSrc busy-loops long enough to cross many abort-poll intervals.
+const loopSrc = `
+i = 0
+while i < 100000:
+    i = i + 1
+print(i)
+`
+
+func TestAbortCheckStopsExecution(t *testing.T) {
+	calls := 0
+	in := New(Config{AbortCheck: func() error {
+		calls++
+		if calls >= 3 {
+			return errors.New("wall budget exceeded")
+		}
+		return nil
+	}})
+	_, err := in.RunSource(loopSrc)
+	if err == nil {
+		t.Fatal("abort must stop the loop")
+	}
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != "AbortError" {
+		t.Fatalf("want AbortError, got %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("abort polled %d times, want 3", calls)
+	}
+	if !IsBudgetError(err) {
+		t.Fatal("AbortError must classify as a budget error")
+	}
+	// The abort fires within one poll interval of the third check.
+	if in.steps > 3*abortPollInterval+abortPollInterval {
+		t.Fatalf("abort latency too high: %d steps", in.steps)
+	}
+}
+
+func TestAbortCheckCleanRun(t *testing.T) {
+	calls := 0
+	in := New(Config{AbortCheck: func() error { calls++; return nil }})
+	if _, err := in.RunSource(loopSrc); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("abort check never polled on a long run")
+	}
+}
+
+func TestIsBudgetErrorClassification(t *testing.T) {
+	in := New(Config{MaxSteps: 100})
+	_, err := in.RunSource(loopSrc)
+	if err == nil {
+		t.Fatal("step budget must trip")
+	}
+	if !IsBudgetError(err) {
+		t.Fatalf("step-budget error must classify as budget: %v", err)
+	}
+	if IsBudgetError(typeErr("not a budget problem")) {
+		t.Fatal("TypeError must not classify as budget")
+	}
+	if IsBudgetError(fmt.Errorf("plain error")) {
+		t.Fatal("non-RuntimeError must not classify as budget")
+	}
+	if IsBudgetError(fmt.Errorf("wrapped: %w", abortErr("x"))) != true {
+		t.Fatal("wrapped AbortError must classify as budget")
+	}
+}

@@ -5,7 +5,10 @@
 // benchmarking methodology measures.
 package vm
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // RuntimeError is a MiniPy-level execution error (TypeError, IndexError...).
 type RuntimeError struct {
@@ -47,4 +50,20 @@ func attrErr(format string, args ...interface{}) *RuntimeError {
 
 func zeroDivErr() *RuntimeError {
 	return &RuntimeError{Kind: "ZeroDivisionError", Msg: "division by zero"}
+}
+
+func abortErr(format string, args ...interface{}) *RuntimeError {
+	return &RuntimeError{Kind: "AbortError", Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsBudgetError reports whether err is a resource-budget violation: the
+// step-budget guard ("TimeoutError") or an AbortCheck-triggered abort
+// ("AbortError"). The harness supervisor uses this to classify an
+// invocation as hung rather than wrong.
+func IsBudgetError(err error) bool {
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		return false
+	}
+	return re.Kind == "TimeoutError" || re.Kind == "AbortError"
 }

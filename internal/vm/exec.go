@@ -74,6 +74,11 @@ func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*mi
 		if in.steps > in.maxSteps {
 			return nil, &RuntimeError{Kind: "TimeoutError", Msg: "step budget exhausted"}
 		}
+		if in.abort != nil && in.steps%abortPollInterval == 0 {
+			if err := in.abort(); err != nil {
+				return nil, abortErr("%s", err.Error())
+			}
+		}
 		ins := ops[pc]
 		op := ins.Op
 

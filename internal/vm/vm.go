@@ -39,7 +39,17 @@ type Config struct {
 	MaxSteps uint64
 	// MaxDepth bounds call nesting. Defaults to 4096.
 	MaxDepth int
+	// AbortCheck, when non-nil, is polled every abortPollInterval executed
+	// ops; a non-nil return aborts execution with an AbortError carrying
+	// the returned error's message. This is the supervisor's hook for
+	// wall-clock budgets and external cancellation — the VM itself stays
+	// free of time sources so simulations remain deterministic.
+	AbortCheck func() error
 }
+
+// abortPollInterval is how often (in executed ops) AbortCheck is polled.
+// Power of two so the check compiles to a mask test on the hot path.
+const abortPollInterval = 1024
 
 // Counters is a snapshot of the engine's execution accounting.
 type Counters struct {
@@ -75,6 +85,7 @@ type Interp struct {
 
 	jit   *jitState
 	probe Probe
+	abort func() error
 
 	steps     uint64
 	maxSteps  uint64
@@ -121,6 +132,7 @@ func New(cfg Config) *Interp {
 		Globals:   map[string]minipy.Value{},
 		out:       cfg.Out,
 		probe:     cfg.Probe,
+		abort:     cfg.AbortCheck,
 		maxSteps:  maxSteps,
 		maxDepth:  maxDepth,
 		allocAddr: 0x10000, // leave a synthetic "low memory" hole

@@ -1,6 +1,7 @@
 GO ?= go
+SMOKEDIR ?= .smoke
 
-.PHONY: all build test verify bench clean
+.PHONY: all build test verify bench bench-smoke clean
 
 all: build
 
@@ -19,5 +20,18 @@ verify:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# bench-smoke runs one tiny supervised benchmark end to end with tracing and
+# metrics on, then validates that the emitted Chrome trace JSON parses.
+bench-smoke:
+	rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
+	$(GO) run ./cmd/pybench -bench fib -mode interp \
+		-invocations 2 -iterations 3 -seed 42 -noise quiet \
+		-retries 2 -faults light \
+		-trace $(SMOKEDIR)/smoke.trace.json -metrics > $(SMOKEDIR)/smoke.out
+	$(GO) run ./cmd/tracecheck $(SMOKEDIR)/smoke.trace.json
+	grep -q harness_invocations_total $(SMOKEDIR)/smoke.out
+	rm -rf $(SMOKEDIR)
+
 clean:
 	$(GO) clean ./...
+	rm -rf $(SMOKEDIR)

@@ -20,6 +20,14 @@
 // kind=prob,...}, -retries N, -quorum K, -resume DIR. With -resume, an
 // interrupted run picks up where it left off, skipping completed
 // invocations; the same seed always reproduces the same fault schedule.
+//
+// Observability knobs: -trace FILE writes a Chrome trace-event timeline
+// (open in Perfetto or chrome://tracing); -metrics collects harness
+// self-telemetry (timer calibration, GC interference, retry/cache
+// activity) and prints a snapshot (with -json it rides under the "metrics"
+// key); -profile prints a per-line cost attribution, and -collapsed FILE
+// additionally writes folded call stacks for flamegraph tools; -version
+// prints the producer identification stamped into emitted artifacts.
 package main
 
 import (
@@ -27,15 +35,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/counters"
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/methodology"
+	"repro/internal/metrics"
 	"repro/internal/noise"
+	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -55,14 +67,28 @@ func main() {
 		markdown    = flag.Bool("markdown", false, "emit tables as Markdown")
 		suite       = flag.Bool("suite", false, "rigorous interp-vs-JIT suite comparison with Holm correction")
 		jsonOut     = flag.Bool("json", false, "with -bench: dump the raw result (all invocations) as JSON")
-		profile     = flag.String("profile", "", "print the per-opcode execution profile of a benchmark")
+		profileName = flag.String("profile", "", "print the per-line and per-opcode cost profile of a benchmark")
 		dis         = flag.String("dis", "", "disassemble a benchmark's bytecode")
 		faultsSpec  = flag.String("faults", "", "fault injection: none, light, heavy, or kind=prob list (kinds: panic, hang, corrupt, checksum, compile)")
 		retries     = flag.Int("retries", 0, "per-invocation retry budget for supervised runs")
 		quorum      = flag.Int("quorum", 0, "minimum successful invocations per experiment (0 = all)")
 		resume      = flag.String("resume", "", "checkpoint directory: save progress after every invocation and resume interrupted runs")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to FILE (open in Perfetto)")
+		metricsOn   = flag.Bool("metrics", false, "collect harness self-telemetry and print a snapshot (with -json: included under the metrics key)")
+		collapsed   = flag.String("collapsed", "", "with -profile: also write folded call stacks to FILE (flamegraph.pl / speedscope format)")
+		showVersion = flag.Bool("version", false, "print version, Go version, and platform, then exit")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "pybench: unexpected argument %q\n\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	np, err := noiseByName(*noiseName)
 	if err != nil {
@@ -96,12 +122,13 @@ func main() {
 	if *markdown {
 		style = renderMarkdown
 	}
+	obs := newObservability(*traceOut, *metricsOn)
 
 	switch {
 	case *list:
 		doList()
-	case *profile != "":
-		if err := doProfile(*profile); err != nil {
+	case *profileName != "":
+		if err := doProfile(*profileName, *collapsed); err != nil {
 			fatal(err)
 		}
 	case *dis != "":
@@ -109,11 +136,17 @@ func main() {
 			fatal(err)
 		}
 	case *suite:
-		if err := doSuite(cfg, style); err != nil {
+		if err := doSuite(cfg, style, obs); err != nil {
+			fatal(err)
+		}
+		if err := obs.finish(os.Stdout, true); err != nil {
 			fatal(err)
 		}
 	case *bench != "":
-		if err := doBench(*bench, *mode, cfg, *jsonOut); err != nil {
+		if err := doBench(*bench, *mode, cfg, *jsonOut, obs); err != nil {
+			fatal(err)
+		}
+		if err := obs.finish(os.Stdout, !*jsonOut); err != nil {
 			fatal(err)
 		}
 	case *exp != "":
@@ -124,6 +157,36 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// usage is the custom flag.Usage: flags plus the benchmark inventory, so a
+// mistyped invocation tells the user what they can actually run.
+func usage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "usage: pybench [flags]\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprintf(out, "\nBenchmarks: %s\n", strings.Join(benchmarkNames(), ", "))
+	fmt.Fprintf(out, "Experiments: %v\nRun 'pybench -list' for descriptions.\n", core.ExperimentIDs())
+}
+
+// benchmarkNames lists every runnable workload (canonical suite plus
+// extended set).
+func benchmarkNames() []string {
+	var names []string
+	for _, b := range workloads.Suite() {
+		names = append(names, b.Name)
+	}
+	for _, b := range workloads.Extended() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// unknownBenchmark builds the error for a benchmark name that resolves to
+// nothing: non-zero exit with the full inventory, not a bare print.
+func unknownBenchmark(name string) error {
+	return fmt.Errorf("unknown benchmark %q; available: %s (run 'pybench -list' for descriptions)",
+		name, strings.Join(benchmarkNames(), ", "))
 }
 
 // renderStyle selects the table output format.
@@ -150,6 +213,67 @@ func emit(out fmt.Stringer, style renderStyle) {
 	fmt.Println(out.String())
 }
 
+// observability owns the CLI's trace/metrics lifecycle: it builds the
+// harness.Observer from the flags, opens the run-level suite span, and at
+// exit exports the trace file and prints the metrics snapshot.
+type observability struct {
+	obs       harness.Observer
+	traceFile string
+	metricsOn bool
+	suiteSpan trace.Span
+}
+
+// newObservability wires the requested sinks. The producer string is
+// stamped into the trace metadata so artifacts record what emitted them.
+func newObservability(traceFile string, metricsOn bool) *observability {
+	o := &observability{traceFile: traceFile, metricsOn: metricsOn}
+	if traceFile != "" {
+		o.obs.Trace = trace.New()
+		o.obs.Trace.SetMeta("producer", version.Producer())
+	}
+	if metricsOn {
+		o.obs.Metrics = metrics.NewRegistry()
+		metrics.CalibrateTimer(o.obs.Metrics)
+	}
+	return o
+}
+
+// attach hooks the sinks into a runner and opens the suite-level span.
+func (o *observability) attach(r *harness.Runner, suiteName string) {
+	r.SetObserver(o.obs)
+	if o.obs.Trace != nil {
+		o.suiteSpan = o.obs.Trace.Begin(trace.CatSuite, suiteName)
+	}
+}
+
+// finish closes the suite span, writes the trace file, and prints the
+// metrics snapshot (text exposition) to w. printMetrics is false in -json
+// mode, where the snapshot already rides inside the result JSON and a text
+// trailer would corrupt the stream.
+func (o *observability) finish(w *os.File, printMetrics bool) error {
+	o.suiteSpan.End()
+	if o.obs.Trace != nil {
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := o.obs.Trace.Export(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pybench: trace written to %s (%d events)\n",
+			o.traceFile, o.obs.Trace.Len())
+	}
+	if o.metricsOn && printMetrics {
+		fmt.Fprintln(w)
+		return o.obs.Metrics.Snapshot().WriteText(w)
+	}
+	return nil
+}
+
 // supervisorOptions maps the CLI's supervision config onto the harness
 // policy (checkpoint stores are attached per experiment by the callers).
 func supervisorOptions(cfg core.Config) harness.SupervisorOptions {
@@ -164,7 +288,7 @@ func supervisorOptions(cfg core.Config) harness.SupervisorOptions {
 // doSuite runs the rigorous methodology across the whole suite with
 // family-wise (Holm–Bonferroni) error control, under fault-tolerant
 // supervision when configured.
-func doSuite(cfg core.Config, style renderStyle) error {
+func doSuite(cfg core.Config, style renderStyle, o *observability) error {
 	inv, iter := cfg.Invocations, cfg.Iterations
 	if inv == 0 {
 		inv = 10
@@ -181,6 +305,7 @@ func doSuite(cfg core.Config, style renderStyle) error {
 		np = noise.Default()
 	}
 	runner := harness.NewRunner()
+	o.attach(runner, "suite")
 	var names []string
 	var baselines, treatments []stats.HierarchicalSample
 	var degradedNotes []string
@@ -289,10 +414,10 @@ func doExperiments(id string, cfg core.Config, style renderStyle) error {
 	return nil
 }
 
-func doBench(name, modeName string, cfg core.Config, jsonOut bool) error {
+func doBench(name, modeName string, cfg core.Config, jsonOut bool, o *observability) error {
 	b, ok := workloads.ByName(name)
 	if !ok {
-		return fmt.Errorf("unknown benchmark %q (try -list)", name)
+		return unknownBenchmark(name)
 	}
 	var mode vm.Mode
 	switch modeName {
@@ -325,7 +450,9 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool) error {
 	// Supervision with the zero policy is free (byte-identical to the bare
 	// Runner), so -bench always runs supervised and always reports its
 	// effective N.
-	res, err := harness.NewSupervisor(harness.NewRunner(), so).Run(b, harness.Options{
+	runner := harness.NewRunner()
+	o.attach(runner, b.Name+"/"+modeName)
+	res, err := harness.NewSupervisor(runner, so).Run(b, harness.Options{
 		Mode:        mode,
 		Invocations: inv,
 		Iterations:  iter,
@@ -375,36 +502,82 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool) error {
 	return nil
 }
 
-// doProfile prints the per-opcode execution profile of one run() call.
-func doProfile(name string) error {
+// doProfile runs one run() call of a benchmark under the VM profiler and
+// prints per-line, per-function, and per-opcode cost attribution. The
+// profiler consumes the engine's own cost accounting, so its total is
+// checked against the measured counter delta and the reconciliation is
+// reported in the caption (exact for the unprobed interpreter).
+func doProfile(name, collapsedPath string) error {
 	b, ok := workloads.ByName(name)
 	if !ok {
-		return fmt.Errorf("unknown benchmark %q (try -list)", name)
+		return unknownBenchmark(name)
 	}
 	code, err := b.Compile()
 	if err != nil {
 		return err
 	}
-	model := counters.NewModel()
-	engine := vm.New(vm.Config{Probe: model})
+	prof := profile.New()
+	engine := vm.New(vm.Config{Tracer: prof})
 	if _, err := engine.RunModule(code); err != nil {
 		return err
 	}
-	model.Reset() // profile the measured iteration only, not module setup
+	prof.Reset() // profile the measured iteration only, not module setup
+	before := engine.CountersSnapshot()
 	if _, err := engine.CallGlobal("run"); err != nil {
 		return err
 	}
-	top := model.TopOps(15)
-	t := report.NewTable(fmt.Sprintf("Opcode profile: %s (one run() call, interpreter)", name),
-		"opcode", "count", "% of ops")
-	total := float64(model.Ops)
-	for _, oc := range top {
-		t.AddRow(oc.Op.String(), oc.Count, fmt.Sprintf("%.1f", 100*float64(oc.Count)/total))
+	delta := engine.CountersSnapshot().Sub(before)
+	ops, cycles := prof.Total()
+
+	t := report.NewTable(fmt.Sprintf("Line profile: %s (one run() call, interpreter)", name),
+		"line", "cycles", "% of cycles", "ops", "source")
+	for _, al := range prof.Annotate(b.Source) {
+		t.AddRow(al.Line, al.Cycles,
+			fmt.Sprintf("%.1f", 100*float64(al.Cycles)/float64(cycles)),
+			al.Ops, al.Source)
 	}
-	snap := model.Snapshot()
-	t.Caption = fmt.Sprintf("%d ops, %d instructions, IPC %.2f, dispatch miss %.0f%%.",
-		model.Ops, model.Instructions, snap.IPC, 100*snap.DispatchMiss)
+	recon := 100.0
+	if delta.Cycles > 0 {
+		recon = 100 * float64(cycles) / float64(delta.Cycles)
+	}
+	t.Caption = fmt.Sprintf("%d ops, %d attributed cycles; engine measured %d cycles (%.2f%% reconciled).",
+		ops, cycles, delta.Cycles, recon)
 	fmt.Print(t.String())
+	fmt.Println()
+
+	ft := report.NewTable("By function", "function", "cycles", "% of cycles", "ops")
+	for _, fc := range prof.FuncCosts() {
+		ft.AddRow(fc.Func, fc.Cycles,
+			fmt.Sprintf("%.1f", 100*float64(fc.Cycles)/float64(cycles)), fc.Ops)
+	}
+	fmt.Print(ft.String())
+	fmt.Println()
+
+	ot := report.NewTable("By opcode (top 15)", "opcode", "count", "cycles", "% of cycles")
+	for i, oc := range prof.OpCosts() {
+		if i == 15 {
+			break
+		}
+		ot.AddRow(oc.Op.String(), oc.Count, oc.Cycles,
+			fmt.Sprintf("%.1f", 100*float64(oc.Cycles)/float64(cycles)))
+	}
+	fmt.Print(ot.String())
+
+	if collapsedPath != "" {
+		f, err := os.Create(collapsedPath)
+		if err != nil {
+			return fmt.Errorf("writing collapsed stacks: %w", err)
+		}
+		if err := prof.WriteCollapsed(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing collapsed stacks: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing collapsed stacks: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pybench: collapsed stacks written to %s (%d unique stacks)\n",
+			collapsedPath, len(prof.Stacks()))
+	}
 	return nil
 }
 
@@ -412,7 +585,7 @@ func doProfile(name string) error {
 func doDisassemble(name string) error {
 	b, ok := workloads.ByName(name)
 	if !ok {
-		return fmt.Errorf("unknown benchmark %q (try -list)", name)
+		return unknownBenchmark(name)
 	}
 	code, err := b.Compile()
 	if err != nil {

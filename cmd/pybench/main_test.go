@@ -10,7 +10,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/noise"
+	"repro/internal/trace"
+	"repro/internal/version"
 )
+
+// noObs is the disabled observability bundle used by tests that exercise
+// other behavior; every sink is nil so it must be free.
+func noObs() *observability { return newObservability("", false) }
 
 func TestNoiseByName(t *testing.T) {
 	cases := map[string]noise.Params{
@@ -41,16 +47,23 @@ func TestNoiseByName(t *testing.T) {
 }
 
 func TestDoBenchErrors(t *testing.T) {
-	if err := doBench("no-such-benchmark", "interp", core.Config{}, false); err == nil {
+	err := doBench("no-such-benchmark", "interp", core.Config{}, false, noObs())
+	if err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
-	if err := doBench("fib", "turbo", core.Config{}, false); err == nil {
+	// The error must point the user at what they can actually run.
+	for _, want := range []string{"no-such-benchmark", "fib", "-list"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-benchmark error missing %q: %v", want, err)
+		}
+	}
+	if err := doBench("fib", "turbo", core.Config{}, false, noObs()); err == nil {
 		t.Fatal("unknown mode must error")
 	}
 }
 
 func TestDoProfileAndDisassembleErrors(t *testing.T) {
-	if err := doProfile("no-such-benchmark"); err == nil {
+	if err := doProfile("no-such-benchmark", ""); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 	if err := doDisassemble("no-such-benchmark"); err == nil {
@@ -110,7 +123,7 @@ func TestDoBenchSupervisedWithFaults(t *testing.T) {
 		Faults:        faults.Params{PanicProb: 0.3},
 		CheckpointDir: dir,
 	}
-	out := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false) })
+	out := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false, noObs()) })
 	for _, want := range []string{"effective N", "retries / dropped / quarantined"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("supervised -bench output missing %q:\n%s", want, out)
@@ -122,12 +135,123 @@ func TestDoBenchSupervisedWithFaults(t *testing.T) {
 	}
 	// Re-running against the completed checkpoint must succeed (nothing
 	// re-runs) and report the same numbers, plus the resume annotation.
-	again := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false) })
+	again := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false, noObs()) })
 	if !strings.Contains(again, "resumed at invocation 3") {
 		t.Errorf("resumed -bench missing resume annotation:\n%s", again)
 	}
 	if stripped := strings.ReplaceAll(again, "; resumed at invocation 3", ""); stripped != out {
 		t.Errorf("resumed -bench differs from original:\n--- first\n%s--- resumed\n%s", out, again)
+	}
+}
+
+func TestTraceFlagWritesValidChromeTrace(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "out.trace.json")
+	cfg := core.Config{Invocations: 2, Iterations: 3, Seed: 7, Noise: noise.Quiet()}
+	o := newObservability(traceFile, false)
+	captureStdout(t, func() error {
+		if err := doBench("fib", "interp", cfg, false, o); err != nil {
+			return err
+		}
+		return o.finish(os.Stdout, true)
+	})
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	n, err := trace.Validate(data)
+	if err != nil {
+		t.Fatalf("emitted trace is not schema-valid: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("trace has no events")
+	}
+	if err := trace.ValidateSpans(data, trace.CatSuite, trace.CatBenchmark,
+		trace.CatInvocation, trace.CatIteration, trace.CatPhase); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), version.Producer()) {
+		t.Error("trace metadata missing producer stamp")
+	}
+}
+
+func TestMetricsFlagRidesBenchJSON(t *testing.T) {
+	cfg := core.Config{Invocations: 2, Iterations: 2, Seed: 7, Noise: noise.Quiet()}
+	o := newObservability("", true)
+	out := captureStdout(t, func() error {
+		if err := doBench("fib", "interp", cfg, true, o); err != nil {
+			return err
+		}
+		// -json suppresses the text snapshot so stdout stays a JSON document.
+		return o.finish(os.Stdout, false)
+	})
+	for _, want := range []string{`"metrics"`, "harness_invocations_total",
+		"harness_timer_overhead_ns", "harness_gc_pause_ns_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-json output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "# HELP") {
+		t.Error("text exposition leaked into -json stdout")
+	}
+}
+
+func TestMetricsFlagPrintsTextSnapshot(t *testing.T) {
+	cfg := core.Config{Invocations: 1, Iterations: 2, Seed: 7, Noise: noise.Quiet()}
+	o := newObservability("", true)
+	out := captureStdout(t, func() error {
+		if err := doBench("fib", "interp", cfg, false, o); err != nil {
+			return err
+		}
+		return o.finish(os.Stdout, true)
+	})
+	for _, want := range []string{"# HELP", "harness_invocations_total 1",
+		"harness_timer_resolution_ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDoProfileReconcilesAndWritesCollapsed(t *testing.T) {
+	collapsed := filepath.Join(t.TempDir(), "fib.folded")
+	out := captureStdout(t, func() error { return doProfile("fib", collapsed) })
+	// Interpreter with no probe: attribution must reconcile exactly.
+	if !strings.Contains(out, "(100.00% reconciled)") {
+		t.Errorf("profile not reconciled:\n%s", out)
+	}
+	for _, want := range []string{"Line profile: fib", "By function", "By opcode", "fib"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(collapsed)
+	if err != nil {
+		t.Fatalf("collapsed stacks not written: %v", err)
+	}
+	if !strings.Contains(string(data), "run;fib;fib ") {
+		t.Errorf("folded stacks missing recursive fib frames:\n%s", data)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	s := version.String()
+	for _, want := range []string{"pybench", version.Version, "go"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("version string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestBenchmarkNamesInventory(t *testing.T) {
+	names := benchmarkNames()
+	if len(names) == 0 {
+		t.Fatal("no benchmarks in inventory")
+	}
+	err := unknownBenchmark("bogus")
+	for _, n := range names {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknownBenchmark hint missing %q", n)
+		}
 	}
 }
 
@@ -141,7 +265,7 @@ func TestDoSuiteSupervisedFootnotes(t *testing.T) {
 		Quorum:      1,
 		Faults:      faults.Params{PanicProb: 0.2},
 	}
-	out := captureStdout(t, func() error { return doSuite(cfg, renderText) })
+	out := captureStdout(t, func() error { return doSuite(cfg, renderText, noObs()) })
 	if !strings.Contains(out, "note: supervised: faults=panic=0.2, retries=3, quorum=1") {
 		t.Errorf("suite output missing supervision footnote:\n%s", out)
 	}

@@ -1,0 +1,42 @@
+// Command tracecheck validates that a file is schema-valid Chrome
+// trace-event JSON as emitted by pybench -trace. It exits 0 and reports the
+// event count on success, non-zero with a diagnostic otherwise; `make
+// bench-smoke` uses it to prove the emitted trace actually parses.
+//
+// Usage:
+//
+//	tracecheck FILE [FILE...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE [FILE...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			failed = true
+			continue
+		}
+		n, err := trace.Validate(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok (%d events)\n", path, n)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"repro/internal/counters"
+	"repro/internal/metrics"
 	"repro/internal/minipy"
 	"repro/internal/noise"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -92,6 +94,11 @@ type Result struct {
 	// quarantined samples) when the experiment ran under a Supervisor;
 	// nil for plain Runner runs.
 	Supervision *Supervision `json:",omitempty"`
+	// Metrics is the harness self-telemetry snapshot (timer calibration,
+	// GC interference, retry/cache activity) taken when the experiment
+	// finished; nil unless an Observer with a metrics registry was
+	// attached.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // Hierarchical converts the measured times into the two-level sample shape
@@ -134,6 +141,9 @@ func (r *Result) CyclesMatrix() [][]uint64 {
 type Runner struct {
 	mu        sync.Mutex
 	codeCache map[string]*minipy.Code
+	// obs holds the optional observability sinks (see observe.go). The
+	// zero value is free: disabled sinks cost one nil check each.
+	obs Observer
 }
 
 // NewRunner returns an empty runner.
@@ -145,8 +155,10 @@ func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c, ok := r.codeCache[b.Name]; ok {
+		r.obs.Metrics.Counter(mCacheHits, "compiled-code cache hits").Inc()
 		return c, nil
 	}
+	r.obs.Metrics.Counter(mCacheMisses, "compiled-code cache misses (front-end runs)").Inc()
 	c, err := b.Compile()
 	if err != nil {
 		return nil, err
@@ -162,6 +174,9 @@ func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := r.obs.Trace.Begin(trace.CatBenchmark, b.Name+"/"+opts.Mode.String(),
+		"benchmark", b.Name, "mode", opts.Mode.String())
+	defer sp.End()
 	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts}
 	for i := 0; i < opts.Invocations; i++ {
 		inv, err := r.runInvocation(code, opts, i)
@@ -173,6 +188,7 @@ func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 		}
 		res.Invocations = append(res.Invocations, *inv)
 	}
+	r.snapshotMetrics(res)
 	return res, nil
 }
 
@@ -191,11 +207,28 @@ func validateChecksum(b workloads.Benchmark, inv *Invocation) error {
 // checksum first when injecting that fault).
 func (r *Runner) runInvocation(code *minipy.Code,
 	opts Options, invIdx int) (*Invocation, error) {
+	tr := r.obs.Trace
+	var invSpan trace.Span
+	if tr != nil {
+		invSpan = tr.Begin(trace.CatInvocation, fmt.Sprintf("invocation %d", invIdx),
+			"index", fmt.Sprint(invIdx))
+	}
+	defer invSpan.End() // deferred so panicking attempts still close the span
+	gc := metrics.StartGCSample(r.obs.Metrics)
+	defer gc.Stop()
+	r.obs.Metrics.Counter(mInvocations, "VM invocations started").Inc()
+
 	var probe vm.Probe
 	var model *counters.Model
 	if opts.WithCounters {
 		model = counters.NewModel()
 		probe = model
+	}
+	// A nil *Profiler must stay a nil interface, or the VM would pay the
+	// hook on every op for a no-op receiver.
+	var vtracer vm.Tracer
+	if r.obs.Profile != nil {
+		vtracer = r.obs.Profile
 	}
 	var abort func() error
 	if opts.WallBudget > 0 {
@@ -211,10 +244,14 @@ func (r *Runner) runInvocation(code *minipy.Code,
 		Mode:       opts.Mode,
 		Cost:       opts.Cost,
 		Probe:      probe,
+		Tracer:     vtracer,
 		MaxSteps:   opts.MaxStepsPerInvocation,
 		AbortCheck: abort,
 	})
-	if _, err := engine.RunModule(code); err != nil {
+	setupSpan := tr.Begin(trace.CatPhase, "module-setup")
+	_, err := engine.RunModule(code)
+	setupSpan.End()
+	if err != nil {
 		return nil, fmt.Errorf("module setup: %w", err)
 	}
 	src := noise.NewSource(opts.Noise, opts.Seed, invIdx)
@@ -226,9 +263,21 @@ func (r *Runner) runInvocation(code *minipy.Code,
 	hz := opts.FreqGHz * 1e9
 	var last minipy.Value
 	for j := 0; j < opts.Iterations; j++ {
+		// Span bookkeeping (including the name formatting) is gated on a
+		// live tracer so the disabled path adds zero allocations per
+		// iteration — the overhead contract of DESIGN.md §8.
+		var iterSpan, callSpan trace.Span
+		if tr != nil {
+			iterSpan = tr.Begin(trace.CatIteration, fmt.Sprintf("iteration %d", j))
+		}
 		before := engine.CountersSnapshot()
+		if tr != nil {
+			callSpan = tr.Begin(trace.CatPhase, "run()")
+		}
 		v, err := engine.CallGlobal("run")
+		callSpan.End()
 		if err != nil {
+			iterSpan.End()
 			return nil, fmt.Errorf("run() iteration %d: %w", j, err)
 		}
 		last = v
@@ -237,7 +286,13 @@ func (r *Runner) runInvocation(code *minipy.Code,
 		inv.TimesSec = append(inv.TimesSec, src.Apply(base))
 		inv.Cycles = append(inv.Cycles, delta.Cycles)
 		inv.Steps = append(inv.Steps, delta.Steps)
+		if tr != nil {
+			iterSpan.SetArg("cycles", fmt.Sprint(delta.Cycles))
+		}
+		iterSpan.End()
 	}
+	r.obs.Metrics.Counter(mIterations, "measured iterations completed").
+		Add(uint64(opts.Iterations))
 	if last != nil {
 		inv.Checksum = last.Repr()
 	}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRun executes the reference experiment on a fresh Runner. Everything
+// in the result is seed-derived simulation (no wall-clock, no host state),
+// so the JSON must be byte-identical across runs and machines. No metrics
+// registry is attached: timer calibration and GC telemetry are
+// host-dependent by design and ride only when requested.
+func goldenRun(t *testing.T) []byte {
+	t.Helper()
+	b, ok := workloads.ByName("fib")
+	if !ok {
+		t.Fatal("fib benchmark missing")
+	}
+	res, err := NewRunner().Run(b, Options{
+		Invocations: 2, Iterations: 3, Seed: 42, Noise: noise.Quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	first := goldenRun(t)
+	second := goldenRun(t)
+	if !bytes.Equal(first, second) {
+		t.Fatal("two same-seed runs produced different JSON")
+	}
+
+	golden := filepath.Join("testdata", "fib_2x3_seed42.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("JSON output drifted from golden file %s (run with -update if intentional)\n--- got\n%s",
+			golden, first)
+	}
+}
+
+func TestGoldenJSONRoundTrip(t *testing.T) {
+	data := goldenRun(t)
+	res, err := ReadResultJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, buf.Bytes()) {
+		t.Error("decode/encode round trip is not the identity")
+	}
+}

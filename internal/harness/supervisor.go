@@ -3,10 +3,12 @@ package harness
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/minipy"
+	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workloads"
 )
@@ -210,6 +212,11 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 		Faults:     s.opts.Faults,
 		FaultSeed:  faultSeed,
 	}
+	obs := s.r.obs
+	benchSpan := obs.Trace.Begin(trace.CatBenchmark, b.Name+"/"+opts.Mode.String(),
+		"benchmark", b.Name, "mode", opts.Mode.String(), "supervised", "true")
+	defer benchSpan.End()
+
 	key := checkpointKey(b, opts, s.opts, faultSeed)
 	start := 0
 	if ckpt != nil {
@@ -221,6 +228,9 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 			res = restored
 			start = next
 			res.Supervision.ResumedFrom = start
+			obs.Trace.Instant(trace.CatSupervisor, "checkpoint-resume",
+				"benchmark", b.Name, "invocation", strconv.Itoa(start))
+			obs.Metrics.Counter(mResumes, "experiments resumed from a checkpoint").Inc()
 		}
 	}
 	sup := res.Supervision
@@ -235,13 +245,20 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 			sup.Recovered++
 		case StatusDropped:
 			sup.Dropped++
+			obs.Trace.Instant(trace.CatSupervisor, "invocation-dropped",
+				"benchmark", b.Name, "invocation", strconv.Itoa(i))
+			obs.Metrics.Counter(mDropped, "invocations dropped after exhausting retries").Inc()
 		}
 		if ckpt != nil {
 			if err := saveCheckpoint(ckpt, key, res, i+1); err != nil {
 				return nil, fmt.Errorf("harness: %s: checkpointing: %w", b.Name, err)
 			}
+			obs.Trace.Instant(trace.CatSupervisor, "checkpoint-save",
+				"invocation", strconv.Itoa(i))
+			obs.Metrics.Counter(mCheckpointSaves, "checkpoint snapshots written").Inc()
 		}
 	}
+	s.r.snapshotMetrics(res)
 
 	if sup.EffectiveN() < quorum {
 		// The partial result is returned alongside the error so callers
@@ -258,6 +275,7 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 // res.Invocations and tally the supervision counters on res.
 func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Code,
 	opts Options, invIdx int, inj *faults.Injector, res *Result) InvocationLog {
+	obs := s.r.obs
 	sup := res.Supervision
 	lg := InvocationLog{Index: invIdx, Status: StatusDropped}
 	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
@@ -265,17 +283,27 @@ func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Cod
 		sup.Attempts++
 		if attempt > 0 {
 			sup.Retries++
+			obs.Trace.Instant(trace.CatSupervisor, "retry",
+				"benchmark", b.Name, "invocation", strconv.Itoa(invIdx),
+				"attempt", strconv.Itoa(attempt))
+			obs.Metrics.Counter(mRetries, "invocation retry attempts").Inc()
 		}
 		rec := AttemptRecord{Attempt: attempt}
 		if fault.Kind != faults.None {
 			sup.InjectedFaults++
 			rec.Fault = fault.Kind.String()
+			obs.Trace.Instant(trace.CatSupervisor, "fault-injected",
+				"kind", fault.Kind.String(), "invocation", strconv.Itoa(invIdx),
+				"attempt", strconv.Itoa(attempt))
+			obs.Metrics.Counter(mFaultsInjected, "faults injected into attempts").Inc()
 		}
 		inv, err := s.attempt(code, opts, invIdx, attempt, fault)
 		if err == nil {
 			var quarantined int
 			quarantined, err = validateSamples(inv)
 			sup.QuarantinedSamples += quarantined
+			obs.Metrics.Counter(mQuarantined, "corrupted samples quarantined").
+				Add(uint64(quarantined))
 		}
 		if err == nil {
 			err = validateChecksum(b, inv)
@@ -291,6 +319,9 @@ func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Cod
 			return lg
 		}
 		rec.Error = err.Error()
+		obs.Trace.Instant(trace.CatSupervisor, "attempt-failed",
+			"benchmark", b.Name, "invocation", strconv.Itoa(invIdx),
+			"attempt", strconv.Itoa(attempt), "error", err.Error())
 		if attempt < s.opts.MaxRetries {
 			backoff := s.opts.BackoffBase << uint(attempt)
 			rec.BackoffMs = backoff.Milliseconds()

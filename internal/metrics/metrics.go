@@ -1,0 +1,298 @@
+// Package metrics is a dependency-free metrics registry for harness
+// self-telemetry: counters, gauges, and fixed-bucket histograms, with a
+// deterministic snapshot (sorted, JSON-stable) and a Prometheus-style text
+// exposition. The paper's methodology requires that reported numbers be
+// accompanied by the measurement apparatus's own overhead — timer
+// resolution, GC interference, retry/cache activity — and this package is
+// where that accounting lives.
+//
+// A nil *Registry is inert: every lookup returns a nil instrument and every
+// instrument method on nil is a no-op, so instrumented code paths need no
+// enable/disable plumbing.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments. Instrument constructors are idempotent:
+// asking for an existing name returns the existing instrument (names are
+// namespaced per kind).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
+	}
+}
+
+// Counter returns the named monotonically-increasing counter, creating it
+// on first use. Nil registries return a nil (inert) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.help[name] = help
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.help[name] = help
+	}
+	return g
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it on first
+// use with the given upper bounds (sorted ascending; an implicit +Inf
+// bucket catches the rest). Buckets are fixed at creation: later calls with
+// different bounds return the existing histogram unchanged.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+		r.histograms[name] = h
+		r.help[name] = help
+	}
+	return h
+}
+
+// Counter is a monotonically-increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets and tracks sum/count.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, ascending; counts has one extra +Inf slot
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram in a snapshot. Buckets are cumulative
+// (each includes all lower buckets), matching the exposition convention.
+type HistogramPoint struct {
+	Name    string    `json:"name"`
+	Help    string    `json:"help,omitempty"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"` // cumulative; last entry == Count
+	Sum     float64   `json:"sum"`
+	Count   uint64    `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by name so
+// JSON and text output are deterministic.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry. A nil registry yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Help: r.help[name], Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Help: r.help[name], Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		h.mu.Lock()
+		hp := HistogramPoint{
+			Name:   name,
+			Help:   r.help[name],
+			Bounds: append([]float64(nil), h.bounds...),
+			Sum:    h.sum,
+			Count:  h.count,
+		}
+		var cum uint64
+		for _, c := range h.counts {
+			cum += c
+			hp.Buckets = append(hp.Buckets, cum)
+		}
+		h.mu.Unlock()
+		s.Histograms = append(s.Histograms, hp)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the snapshotted value of a counter (0 when absent).
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshotted value of a gauge (0, false when absent).
+func (s Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteText renders the snapshot in a Prometheus-style text exposition:
+// "# HELP" comments followed by name value lines, histograms expanded into
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if err := writeMetricHeader(w, c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := writeMetricHeader(w, g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writeMetricHeader(w, h.Name, h.Help, "histogram"); err != nil {
+			return err
+		}
+		for i, b := range h.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.Name, b, h.Buckets[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.Name, h.Sum, h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMetricHeader(w io.Writer, name, help, kind string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}

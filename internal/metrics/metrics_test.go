@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "").Inc()
+	r.Gauge("g", "").Set(3)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry recorded something")
+	}
+	if StartGCSample(nil) != nil {
+		t.Fatal("nil-registry sampler must be nil")
+	}
+	(*GCSampler)(nil).Stop() // must not panic
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total", "total runs")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("runs_total", "ignored") != c {
+		t.Fatal("counter lookup is not idempotent")
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+
+	g := r.Gauge("temperature", "")
+	g.Set(36.6)
+	if g.Value() != 36.6 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+
+	h := r.Histogram("latency", "seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatal("histogram missing from snapshot")
+	}
+	hp := s.Histograms[0]
+	// Cumulative buckets: ≤0.1 → 1, ≤1 → 3, ≤10 → 4; +Inf (Count) → 5.
+	want := []uint64{1, 3, 4, 5}
+	for i, w := range want {
+		if hp.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (%+v)", i, hp.Buckets[i], w, hp)
+		}
+	}
+	if hp.Count != 5 || hp.Sum != 56.05 {
+		t.Fatalf("sum/count wrong: %+v", hp)
+	}
+}
+
+func TestSnapshotDeterministicAndJSONStable(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Insert in shuffled order; snapshot must sort.
+		r.Counter("z_last", "").Add(1)
+		r.Counter("a_first", "").Add(2)
+		r.Gauge("m_gauge", "").Set(7)
+		r.Histogram("k_hist", "", []float64{1, 2}).Observe(1.5)
+		return r.Snapshot()
+	}
+	j1, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(build())
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+	if idx := bytes.Index(j1, []byte("a_first")); idx < 0 || idx > bytes.Index(j1, []byte("z_last")) {
+		t.Fatalf("counters not sorted: %s", j1)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("harness_retries_total", "retries").Add(3)
+	r.Gauge("harness_timer_overhead_ns", "ns per clock read").Set(25)
+	r.Histogram("inv_seconds", "", []float64{0.5}).Observe(0.2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE harness_retries_total counter",
+		"harness_retries_total 3",
+		"# HELP harness_timer_overhead_ns ns per clock read",
+		"harness_timer_overhead_ns 25",
+		"inv_seconds_bucket{le=\"0.5\"} 1",
+		"inv_seconds_bucket{le=\"+Inf\"} 1",
+		"inv_seconds_sum 0.2",
+		"inv_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c", "").Inc()
+				r.Histogram("h", "", []float64{10, 100}).Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counter("c") != 8000 {
+		t.Fatalf("lost counter increments: %d", s.Counter("c"))
+	}
+	if s.Histograms[0].Count != 8000 {
+		t.Fatalf("lost observations: %d", s.Histograms[0].Count)
+	}
+}
+
+func TestCalibrateTimer(t *testing.T) {
+	r := NewRegistry()
+	cal := CalibrateTimer(r)
+	if cal.ResolutionNs <= 0 {
+		t.Fatalf("resolution must be positive: %v", cal.ResolutionNs)
+	}
+	if cal.OverheadNs <= 0 || cal.OverheadNs > 1e6 {
+		t.Fatalf("implausible timer overhead: %v ns", cal.OverheadNs)
+	}
+	s := r.Snapshot()
+	if v, ok := s.Gauge(TimerResolutionNs); !ok || v != cal.ResolutionNs {
+		t.Fatal("resolution gauge missing")
+	}
+	if v, ok := s.Gauge(TimerOverheadNs); !ok || v != cal.OverheadNs {
+		t.Fatal("overhead gauge missing")
+	}
+}
+
+func TestGCSampler(t *testing.T) {
+	r := NewRegistry()
+	s := StartGCSample(r)
+	// Allocate noticeably so the invocation-alloc histogram sees it.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 32<<10))
+	}
+	_ = sink
+	s.Stop()
+	snap := r.Snapshot()
+	if v, ok := snap.Gauge(HeapAllocBytes); !ok || v <= 0 {
+		t.Fatal("heap gauge not recorded")
+	}
+	var found bool
+	for _, h := range snap.Histograms {
+		if h.Name == InvocationAlloc {
+			found = true
+			if h.Count != 1 || h.Sum < float64(64*32<<10) {
+				t.Fatalf("alloc histogram implausible: %+v", h)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("invocation alloc histogram missing")
+	}
+}

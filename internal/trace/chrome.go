@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event JSON object format, the lingua franca of timeline
+// viewers: Perfetto, chrome://tracing, and speedscope all load it.
+// Timestamps and durations are microseconds. Reference:
+// "Trace Event Format" (Google, trace-viewer docs).
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level JSON object.
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// Export writes the recorded events as Chrome trace-event JSON. Events are
+// sorted by timestamp (stable, so equal-timestamp events keep record
+// order), which viewers require for correct nesting.
+func (t *Tracer) Export(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: cannot export a nil tracer")
+	}
+	t.mu.Lock()
+	events := make([]Event, len(t.events))
+	copy(events, t.events)
+	meta := make(map[string]string, len(t.meta))
+	for k, v := range t.meta {
+		meta[k] = v
+	}
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	out := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+		OtherData:       meta,
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   e.Phase,
+			TS:   float64(e.TS.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  1,
+			Args: e.Args,
+		}
+		if e.Phase == "X" {
+			d := float64(e.Dur.Nanoseconds()) / 1e3
+			ce.Dur = &d
+		}
+		if e.Phase == "i" {
+			ce.S = "t" // thread-scoped instant
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Validate parses data as Chrome trace-event JSON and checks the invariants
+// the exporter guarantees: every event has a name, a known phase, a
+// non-negative microsecond timestamp, complete events carry a non-negative
+// duration, and timestamps are monotonically non-decreasing. It returns the
+// parsed event count so callers (the smoke target, tests) can assert
+// non-emptiness.
+func Validate(data []byte) (events int, err error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace: no events")
+	}
+	prev := -1.0
+	for i, e := range f.TraceEvents {
+		if e.Name == "" {
+			return 0, fmt.Errorf("trace: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				return 0, fmt.Errorf("trace: complete event %d (%s) has bad duration", i, e.Name)
+			}
+		case "i":
+			// instant events carry no duration
+		case "M":
+			// metadata events are permitted though the exporter emits none
+		default:
+			return 0, fmt.Errorf("trace: event %d (%s) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.TS < 0 {
+			return 0, fmt.Errorf("trace: event %d (%s) has negative timestamp", i, e.Name)
+		}
+		if e.TS < prev {
+			return 0, fmt.Errorf("trace: event %d (%s) breaks timestamp ordering", i, e.Name)
+		}
+		prev = e.TS
+	}
+	return len(f.TraceEvents), nil
+}
+
+// ValidateSpans checks that the trace contains at least one complete span
+// for each of the given categories — the harness contract tests use this to
+// assert the suite/benchmark/invocation/iteration hierarchy is present.
+func ValidateSpans(data []byte, categories ...string) error {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" {
+			seen[e.Cat] = true
+		}
+	}
+	for _, cat := range categories {
+		if !seen[cat] {
+			return fmt.Errorf("trace: no complete span with category %q", cat)
+		}
+	}
+	return nil
+}

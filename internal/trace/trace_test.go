@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a monotonically advancing offset function plus a
+// stepper, for deterministic timestamps.
+func fakeClock() (now func() time.Duration, advance func(time.Duration)) {
+	var t time.Duration
+	return func() time.Duration { return t }, func(d time.Duration) { t += d }
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(CatSuite, "x")
+	sp.SetArg("k", "v")
+	sp.End()
+	tr.Instant(CatSupervisor, "retry")
+	tr.SetMeta("k", "v")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+	if err := tr.Export(&bytes.Buffer{}); err == nil {
+		t.Fatal("exporting a nil tracer must error")
+	}
+}
+
+func TestSpanHierarchyAndExport(t *testing.T) {
+	now, advance := fakeClock()
+	tr := NewWithClock(now)
+	tr.SetMeta("producer", "test 0.0.0")
+
+	suite := tr.Begin(CatSuite, "suite")
+	advance(time.Millisecond)
+	bench := tr.Begin(CatBenchmark, "fib/interp", "benchmark", "fib")
+	advance(time.Millisecond)
+	inv := tr.Begin(CatInvocation, "invocation 0", "index", "0")
+	advance(time.Millisecond)
+	iter := tr.Begin(CatIteration, "iteration 0")
+	advance(500 * time.Microsecond)
+	phase := tr.Begin(CatPhase, "run()")
+	advance(250 * time.Microsecond)
+	phase.End()
+	iter.End()
+	tr.Instant(CatSupervisor, "retry", "invocation", "0", "attempt", "1")
+	inv.End()
+	bench.End()
+	suite.End()
+
+	if tr.Len() != 6 {
+		t.Fatalf("want 6 events, got %d", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	if n != 6 {
+		t.Fatalf("validator saw %d events, want 6", n)
+	}
+	if err := ValidateSpans(buf.Bytes(),
+		CatSuite, CatBenchmark, CatInvocation, CatIteration, CatPhase); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spot-check the schema directly: the suite span must cover everything.
+	var f struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.OtherData["producer"] != "test 0.0.0" {
+		t.Fatalf("metadata lost: %+v", f.OtherData)
+	}
+	byName := map[string]float64{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" {
+			byName[e.Name] = e.Dur
+		}
+		if e.Name == "retry" {
+			if e.Ph != "i" || e.Args["attempt"] != "1" {
+				t.Fatalf("instant event malformed: %+v", e)
+			}
+		}
+	}
+	if byName["suite"] < byName["fib/interp"] || byName["fib/interp"] < byName["invocation 0"] {
+		t.Fatalf("span durations do not nest: %v", byName)
+	}
+	if byName["run()"] != 250 { // µs
+		t.Fatalf("phase duration = %v µs, want 250", byName["run()"])
+	}
+}
+
+func TestValidateRejectsMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents": [}`,
+		"empty":           `{"traceEvents": []}`,
+		"nameless":        `{"traceEvents": [{"ph":"i","ts":0}]}`,
+		"unknown phase":   `{"traceEvents": [{"name":"x","ph":"Q","ts":0}]}`,
+		"no duration":     `{"traceEvents": [{"name":"x","ph":"X","ts":0}]}`,
+		"negative ts":     `{"traceEvents": [{"name":"x","ph":"i","ts":-1}]}`,
+		"order violation": `{"traceEvents": [{"name":"a","ph":"i","ts":5},{"name":"b","ph":"i","ts":1}]}`,
+	}
+	for label, data := range cases {
+		if _, err := Validate([]byte(data)); err == nil {
+			t.Errorf("%s: Validate accepted malformed trace", label)
+		}
+	}
+}
+
+func TestExportSortsByTimestamp(t *testing.T) {
+	now, advance := fakeClock()
+	tr := NewWithClock(now)
+	// A span that ends late is recorded after later-starting instants; the
+	// exporter must still order output by start timestamp.
+	outer := tr.Begin(CatBenchmark, "outer")
+	advance(10 * time.Millisecond)
+	tr.Instant(CatSupervisor, "mid")
+	advance(10 * time.Millisecond)
+	outer.End()
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("out-of-order export: %v", err)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Begin(CatInvocation, "inv")
+				tr.Instant(CatSupervisor, "tick")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 8*200 {
+		t.Fatalf("lost events under concurrency: %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+// Package version identifies the harness build. Every artifact the
+// toolchain emits — trace files, JSON result dumps, metrics snapshots —
+// records its producer so archived data remains interpretable after the
+// harness itself has moved on (the provenance discipline the paper's
+// methodology asks of measurement pipelines).
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the harness release string. Bump it on behaviour-visible
+// changes to any emitted artifact format.
+const Version = "0.3.0"
+
+// String renders the full producer identification:
+// "pybench 0.3.0 (go1.24.0 linux/amd64)".
+func String() string {
+	return fmt.Sprintf("pybench %s (%s %s/%s)",
+		Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Producer is the provenance string stamped into emitted artifacts.
+func Producer() string { return String() }

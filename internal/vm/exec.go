@@ -26,6 +26,10 @@ func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*mi
 		return nil, &RuntimeError{Kind: "RecursionError", Msg: "maximum recursion depth exceeded"}
 	}
 	defer func() { in.depth-- }()
+	if in.tracer != nil {
+		in.tracer.OnEnter(code)
+		defer in.tracer.OnExit(code)
+	}
 
 	var (
 		stack    []minipy.Value
@@ -34,6 +38,7 @@ func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*mi
 		consts   = code.Consts
 		names    = code.Names
 		probe    = in.probe
+		tracer   = in.tracer
 		dispatch = in.cost.DispatchOverhead
 		cid      uint64
 		// Synthetic frame-local storage base for the cache model.
@@ -117,6 +122,9 @@ func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*mi
 			stall := probe.OnOp(op, instrs)
 			in.stalls += stall
 			in.cycles += stall
+		}
+		if tracer != nil {
+			tracer.OnOp(code, pc, op, instrs)
 		}
 
 		switch op {

@@ -1,0 +1,27 @@
+package vm
+
+import "repro/internal/minipy"
+
+// Tracer observes execution at source granularity — the sibling of Probe.
+// Where Probe models microarchitecture (and feeds stall cycles back into
+// the simulation), Tracer is purely passive: it watches frames and executed
+// ops so a profiler (internal/profile) can attribute simulated cost to
+// source lines, functions, and call stacks.
+//
+// A nil Tracer is free: the engine checks one cached local per frame and
+// per op, exactly like the Probe hook, and the hot path allocates nothing
+// extra (guarded by TestNilHooksAddNoAllocations / BenchmarkIterationNilHooks).
+type Tracer interface {
+	// OnEnter is called when a frame for code is pushed (function call or
+	// module execution), before its first op executes.
+	OnEnter(code *minipy.Code)
+	// OnOp is called once per executed bytecode op with its program
+	// counter and the base cycles charged for it (post inline-cache and
+	// JIT-trace adjustment; probe-attributed stalls are accounted
+	// separately by the Probe path). code.Lines[pc] maps the op to its
+	// source line.
+	OnOp(code *minipy.Code, pc int, op minipy.Op, cycles uint64)
+	// OnExit is called when the frame is popped, on normal return and on
+	// error unwinds alike, so enter/exit events always balance.
+	OnExit(code *minipy.Code)
+}

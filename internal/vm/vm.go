@@ -33,6 +33,10 @@ type Config struct {
 	// microarchitectural simulation; its returned stalls are added to the
 	// cycle count.
 	Probe Probe
+	// Tracer, when non-nil, passively observes frames and executed ops for
+	// source-level profiling (internal/profile). Unlike Probe it never
+	// feeds back into the simulation.
+	Tracer Tracer
 	// Out receives print() output. Defaults to io.Discard.
 	Out io.Writer
 	// MaxSteps bounds executed bytecode ops per Run/Call (0 = 2^62).
@@ -83,9 +87,10 @@ type Interp struct {
 	builtins map[string]minipy.Value
 	out      io.Writer
 
-	jit   *jitState
-	probe Probe
-	abort func() error
+	jit    *jitState
+	probe  Probe
+	tracer Tracer
+	abort  func() error
 
 	steps     uint64
 	maxSteps  uint64
@@ -132,6 +137,7 @@ func New(cfg Config) *Interp {
 		Globals:   map[string]minipy.Value{},
 		out:       cfg.Out,
 		probe:     cfg.Probe,
+		tracer:    cfg.Tracer,
 		abort:     cfg.AbortCheck,
 		maxSteps:  maxSteps,
 		maxDepth:  maxDepth,

@@ -1,7 +1,7 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 
-.PHONY: all build test verify bench bench-smoke clean
+.PHONY: all build test lint verify bench bench-smoke clean
 
 all: build
 
@@ -11,10 +11,17 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs go vet plus benchlint, the repo's own methodology vet pass
+# (sanctioned clock sites, allocation-free hot paths, no global rand), and
+# lints every shipped MiniPy workload with the static-analysis subsystem.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/benchlint ./cmd ./internal ./examples
+	$(GO) run ./cmd/pybench -lint > /dev/null
+
 # verify is the pre-merge gate: static analysis plus the full test suite
 # under the race detector (the harness and supervisor are concurrent).
-verify:
-	$(GO) vet ./...
+verify: lint
 	$(GO) test -race ./...
 
 bench:

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Finding is a single methodology-invariant violation in the Go tree.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Directive comments recognized by the linter:
+//
+//	//benchlint:allow clock   — sanctions a wall-clock call on the same or
+//	                            the following source line
+//	benchlint:hotpath         — in a function's doc comment, marks it as
+//	                            part of the interpreter dispatch loop, where
+//	                            allocation-prone stdlib calls are forbidden
+const (
+	allowClockDirective = "benchlint:allow clock"
+	hotpathDirective    = "benchlint:hotpath"
+)
+
+// hotpathForbidden are packages whose direct calls inside a hot-path
+// function distort measurement: fmt and log allocate and acquire locks,
+// os and time issue syscalls, math/rand takes a global lock. A hot-path
+// function that needs one of these is a methodology bug, not a lint gap.
+var hotpathForbidden = map[string]bool{
+	"fmt":       true,
+	"log":       true,
+	"os":        true,
+	"time":      true,
+	"math/rand": true,
+}
+
+// lintFile parses one Go source file and applies every rule. The linter is
+// purely syntactic (go/ast, no type checker): it resolves package
+// references through the file's import table, which is exact for the
+// qualified-call patterns the rules target.
+func lintFile(fset *token.FileSet, path string, src []byte) ([]Finding, error) {
+	file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l := &linter{
+		fset:    fset,
+		imports: importTable(file),
+		allowed: allowedClockLines(fset, file),
+	}
+	l.file(file)
+	return l.findings, nil
+}
+
+type linter struct {
+	fset     *token.FileSet
+	imports  map[string]string // local identifier -> import path
+	allowed  map[int]bool      // lines sanctioned by benchlint:allow clock
+	findings []Finding
+}
+
+func (l *linter) report(pos token.Pos, rule, format string, args ...interface{}) {
+	l.findings = append(l.findings, Finding{
+		Pos:  l.fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// importTable maps each file-local package identifier to its import path.
+// Unnamed imports use the final path element (import "math/rand" binds
+// "rand"); dot and blank imports are ignored — neither produces the
+// qualified selector calls the rules match.
+func importTable(file *ast.File) map[string]string {
+	t := make(map[string]string)
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "." || name == "_" {
+				continue
+			}
+		}
+		t[name] = path
+	}
+	return t
+}
+
+// allowedClockLines collects the source lines sanctioned by an allow-clock
+// directive. A directive covers its own line (trailing comment) and the
+// line after it (comment above the call).
+func allowedClockLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, allowClockDirective) {
+				continue
+			}
+			line := fset.Position(c.End()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+func (l *linter) file(file *ast.File) {
+	// Rule wallclock + globalrand apply file-wide.
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, fn, ok := l.qualifiedCall(call)
+		if !ok {
+			return true
+		}
+		l.checkWallclock(call, pkg, fn)
+		l.checkGlobalRand(call, pkg, fn)
+		return true
+	})
+
+	// Rule hotpath applies inside functions whose doc comment carries the
+	// marker, including any function literals they contain.
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		if !strings.Contains(fd.Doc.Text(), hotpathDirective) {
+			continue
+		}
+		l.checkHotpath(fd.Name.Name, fd.Body)
+	}
+}
+
+// qualifiedCall matches pkg.Fn(...) where pkg is an identifier bound by an
+// import, and returns the import path and function name.
+func (l *linter) qualifiedCall(call *ast.CallExpr) (pkg, fn string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	// A local variable shadowing an import name is indistinguishable
+	// syntactically; Obj != nil means the parser resolved the identifier to
+	// a local declaration, so it is not a package reference.
+	if id.Obj != nil {
+		return "", "", false
+	}
+	path, ok := l.imports[id.Name]
+	if !ok {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// checkWallclock enforces the sanctioned-clock invariant: every wall-clock
+// read must be an annotated, deliberate site. Unannotated time.Now calls
+// scattered through the harness are how accidental timer misuse (mixed
+// clocks, per-iteration syscalls) creeps into measurements.
+func (l *linter) checkWallclock(call *ast.CallExpr, pkg, fn string) {
+	if pkg != "time" {
+		return
+	}
+	switch fn {
+	case "Now", "Since", "Until":
+	default:
+		return
+	}
+	if l.allowed[l.fset.Position(call.Pos()).Line] {
+		return
+	}
+	l.report(call.Pos(), "wallclock",
+		"time.%s outside a sanctioned clock site (annotate with //%s if deliberate)",
+		fn, allowClockDirective)
+}
+
+// checkGlobalRand forbids the process-global math/rand source: it is
+// seeded implicitly, shared across goroutines behind a lock, and makes
+// runs irreproducible. Constructing an explicit source (rand.New,
+// rand.NewSource, rand.NewZipf) is fine, as are methods on the resulting
+// *rand.Rand — those are calls on a variable, not on the package.
+func (l *linter) checkGlobalRand(call *ast.CallExpr, pkg, fn string) {
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return
+	}
+	switch fn {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return
+	}
+	l.report(call.Pos(), "globalrand",
+		"%s.%s uses the global rand source; construct an explicit seeded source instead",
+		pkg, fn)
+}
+
+// checkHotpath walks the body of a benchlint:hotpath function and flags
+// calls into packages that allocate, lock, or syscall.
+func (l *linter) checkHotpath(name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, fn, ok := l.qualifiedCall(call)
+		if !ok || !hotpathForbidden[pkg] {
+			return true
+		}
+		l.report(call.Pos(), "hotpath",
+			"%s.%s inside hot-path function %s (allocates/locks/syscalls in the dispatch loop)",
+			pkg, fn, name)
+		return true
+	})
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func lintFixture(t *testing.T, path string) []Finding {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lintFile(token.NewFileSet(), path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestViolatingFixture pins every seeded violation: rule, line, and count.
+// The time.Now on the measurement path of MeasureOnce is the acceptance
+// case — benchlint must flag an unsanctioned wall-clock read.
+func TestViolatingFixture(t *testing.T) {
+	fs := lintFixture(t, filepath.Join("testdata", "violating", "violating.go"))
+	want := []struct {
+		rule string
+		line int
+	}{
+		{"wallclock", 15}, // time.Now in MeasureOnce
+		{"wallclock", 17}, // time.Since in MeasureOnce
+		{"globalrand", 23},
+		{"hotpath", 31},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(fs), len(want), fs)
+	}
+	seen := map[string]bool{}
+	for _, f := range fs {
+		seen[f.Rule] = true
+		matched := false
+		for _, w := range want {
+			if f.Rule == w.rule && f.Pos.Line == w.line {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+	for _, r := range []string{"wallclock", "globalrand", "hotpath"} {
+		if !seen[r] {
+			t.Errorf("rule %s produced no finding", r)
+		}
+	}
+}
+
+// TestCleanFixture asserts zero findings over sanctioned clock sites,
+// seeded rand sources, a clean hot path, and a shadowed package name.
+func TestCleanFixture(t *testing.T) {
+	if fs := lintFixture(t, filepath.Join("testdata", "clean", "clean.go")); len(fs) != 0 {
+		t.Errorf("clean fixture produced findings: %v", fs)
+	}
+}
+
+// TestDirectiveScope verifies the allow-clock directive covers exactly
+// its own line and the next one — not the whole function.
+func TestDirectiveScope(t *testing.T) {
+	src := []byte(`package p
+
+import "time"
+
+func f() time.Duration {
+	//benchlint:allow clock
+	a := time.Now()
+	b := time.Now()
+	return b.Sub(a)
+}
+`)
+	fs, err := lintFile(token.NewFileSet(), "scope.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (second time.Now): %v", len(fs), fs)
+	}
+	if fs[0].Rule != "wallclock" || fs[0].Pos.Line != 8 {
+		t.Errorf("wrong finding: %v", fs[0])
+	}
+}
+
+// TestHotpathCoversFuncLits ensures calls inside function literals nested
+// in a marked function are still flagged.
+func TestHotpathCoversFuncLits(t *testing.T) {
+	src := []byte(`package p
+
+import "fmt"
+
+// run is the loop.
+// benchlint:hotpath
+func run(n int) {
+	f := func() { fmt.Println(n) }
+	f()
+}
+`)
+	fs, err := lintFile(token.NewFileSet(), "lit.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Rule != "hotpath" {
+		t.Fatalf("want one hotpath finding, got %v", fs)
+	}
+}
+
+// TestRenamedImport confirms rules follow import aliases rather than
+// surface identifier names.
+func TestRenamedImport(t *testing.T) {
+	src := []byte(`package p
+
+import (
+	clock "time"
+	mrand "math/rand"
+)
+
+func f() int64 {
+	_ = clock.Now()
+	return mrand.Int63()
+}
+`)
+	fs, err := lintFile(token.NewFileSet(), "alias.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]int{}
+	for _, f := range fs {
+		rules[f.Rule]++
+	}
+	if rules["wallclock"] != 1 || rules["globalrand"] != 1 {
+		t.Errorf("aliased imports not resolved: %v", fs)
+	}
+}
+
+// TestCollectSkipsTestdataAndTests pins the walker's exemptions: fixture
+// trees and _test.go files are never linted during a directory sweep.
+func TestCollectSkipsTestdataAndTests(t *testing.T) {
+	files, err := collectGoFiles(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if filepath.Base(f) == "violating.go" || filepath.Base(f) == "clean.go" {
+			t.Errorf("walker descended into testdata: %s", f)
+		}
+		if len(f) > 8 && f[len(f)-8:] == "_test.go" {
+			t.Errorf("walker collected test file: %s", f)
+		}
+	}
+	if len(files) != 2 { // main.go + rules.go
+		t.Errorf("expected exactly main.go and rules.go, got %v", files)
+	}
+}

@@ -1,0 +1,47 @@
+// Package clean contains idiomatic uses that benchlint must accept
+// without findings: monotonic clock sites annotated as sanctioned,
+// explicitly seeded rand sources, and a hot-path loop free of
+// allocation-prone calls.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the sanctioned wall-clock site for this package.
+func Clock() time.Time {
+	return time.Now() //benchlint:allow clock
+}
+
+// Elapsed measures against an explicit start via the sanctioned helper.
+func Elapsed(start time.Time) time.Duration {
+	//benchlint:allow clock
+	return time.Since(start)
+}
+
+// NewJitter builds a reproducible perturbation stream from a caller seed.
+// Methods on an explicit *rand.Rand are fine; only the global source is
+// forbidden.
+func NewJitter(seed int64) func() int64 {
+	r := rand.New(rand.NewSource(seed))
+	return func() int64 { return r.Int63n(1000) }
+}
+
+// dispatch is a hot-path loop that stays inside the rules: pure
+// arithmetic, no stdlib calls.
+// benchlint:hotpath
+func dispatch(ops []int) int {
+	acc := 0
+	for _, op := range ops {
+		acc = acc*31 + op
+	}
+	return acc
+}
+
+// timeTable shadows the time package name with a local; calls through it
+// must not be mistaken for clock reads.
+func timeTable() int {
+	time := []int{1, 2, 3}
+	return len(time)
+}

@@ -1,0 +1,42 @@
+// Package violating seeds one violation of every benchlint rule; the unit
+// tests assert each is caught at the expected position.
+package violating
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// MeasureOnce times a single body execution. The bare time.Now calls here
+// are the canonical methodology bug benchlint exists to catch: an
+// unsanctioned wall-clock read directly on the measurement path.
+func MeasureOnce(body func()) time.Duration {
+	start := time.Now() // violation: wallclock
+	body()
+	return time.Since(start) // violation: wallclock
+}
+
+// Jitter perturbs a schedule using the process-global rand source, which
+// is implicitly seeded and irreproducible.
+func Jitter(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(1000)) // violation: globalrand
+}
+
+// dispatch is the simulated inner interpreter loop.
+// benchlint:hotpath
+func dispatch(ops []int) int {
+	acc := 0
+	for _, op := range ops {
+		fmt.Printf("op=%d\n", op) // violation: hotpath (and allocation!)
+		acc += op
+	}
+	return acc
+}
+
+// SanctionedStamp shows the escape hatch: an annotated clock read is a
+// deliberate, reviewed site and must NOT be flagged.
+func SanctionedStamp() time.Time {
+	//benchlint:allow clock
+	return time.Now()
+}

@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/harness"
@@ -66,6 +67,7 @@ func main() {
 		csv         = flag.Bool("csv", false, "emit tables as CSV")
 		markdown    = flag.Bool("markdown", false, "emit tables as Markdown")
 		suite       = flag.Bool("suite", false, "rigorous interp-vs-JIT suite comparison with Holm correction")
+		lint        = flag.Bool("lint", false, "statically analyze every workload (CFG, definite assignment, types, liveness, determinism) and exit non-zero on findings")
 		jsonOut     = flag.Bool("json", false, "with -bench: dump the raw result (all invocations) as JSON")
 		profileName = flag.String("profile", "", "print the per-line and per-opcode cost profile of a benchmark")
 		dis         = flag.String("dis", "", "disassemble a benchmark's bytecode")
@@ -133,6 +135,10 @@ func main() {
 		}
 	case *dis != "":
 		if err := doDisassemble(*dis); err != nil {
+			fatal(err)
+		}
+	case *lint:
+		if err := doLint(style); err != nil {
 			fatal(err)
 		}
 	case *suite:
@@ -499,6 +505,56 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool, o *observabil
 			srep.QuarantinedSamples, srep.DroppedInvocations)
 	}
 	fmt.Print(t.String())
+	return nil
+}
+
+// doLint statically analyzes every shipped workload (canonical suite plus
+// extended set) and prints the per-benchmark digest: CFG size, dead code,
+// type-inference coverage, and the determinism verdict. Any error-severity
+// finding fails the command, so `pybench -lint` is the suite's pre-run
+// validation gate in script form.
+func doLint(style renderStyle) error {
+	all := append(append([]workloads.Benchmark{}, workloads.Suite()...),
+		workloads.Extended()...)
+	t := report.NewTable("Workload static analysis",
+		"benchmark", "funcs", "blocks", "instrs", "dead", "unreach",
+		"typed %", "deterministic", "verdict")
+	findings := 0
+	for _, b := range all {
+		rep, err := b.Analyze()
+		if err != nil {
+			return err
+		}
+		s := rep.Summarize()
+		det := "yes"
+		if !s.Determinism.Certified {
+			det = "NO"
+		} else if s.Determinism.UsesIO {
+			det = "yes (io)"
+		}
+		verdict := "ok"
+		if s.Errors > 0 {
+			verdict = fmt.Sprintf("%d error(s)", s.Errors)
+		} else if s.Warnings > 0 {
+			verdict = fmt.Sprintf("%d warning(s)", s.Warnings)
+		}
+		t.AddRow(b.Name, s.Functions, s.Blocks, s.Instructions, s.DeadStores,
+			s.UnreachableInstrs, fmt.Sprintf("%.1f", s.TypedInstrPct), det, verdict)
+		for _, d := range rep.Diagnostics {
+			if d.Severity >= analysis.Warning {
+				findings++
+				fmt.Fprintf(os.Stderr, "pybench: %s: %s\n", b.Name, d)
+			}
+		}
+		if !s.Determinism.Certified {
+			findings++
+		}
+	}
+	t.Caption = "typed % = reachable instructions whose operand types the lattice resolved."
+	emit(t, style)
+	if findings > 0 {
+		return fmt.Errorf("%d finding(s) across the workload suite", findings)
+	}
 	return nil
 }
 

@@ -1,0 +1,130 @@
+// Command pylint statically analyzes MiniPy programs: control-flow and
+// dominator construction, definite-assignment checking, type-lattice
+// inference, liveness/dead-store detection, and the determinism/purity
+// audit — the same passes the harness runs before measuring a workload,
+// exposed as a standalone linter for sources outside the shipped suite.
+//
+// Usage:
+//
+//	pylint prog.py [more.py ...]   # lint source files
+//	pylint -bench fib              # lint a shipped benchmark by name
+//	pylint -all                    # lint every shipped benchmark
+//	pylint -strict prog.py         # warnings also fail (exit 1)
+//	pylint -cfg prog.py            # additionally dump each function's CFG
+//
+// Exit status: 0 clean, 1 findings (errors; with -strict also warnings),
+// 2 usage or read failure. Diagnostics are positioned:
+//
+//	prog.py: f:3: error[use-before-def]: variable "x" is used before any assignment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/minipy"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "lint a shipped benchmark by name instead of files")
+		all       = flag.Bool("all", false, "lint every shipped benchmark (canonical + extended)")
+		strict    = flag.Bool("strict", false, "treat warnings as failures")
+		dumpCFG   = flag.Bool("cfg", false, "dump each function's control-flow graph")
+		quiet     = flag.Bool("q", false, "suppress the per-target summary line, print findings only")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: pylint [flags] [file.py ...]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	type target struct {
+		name string
+		src  string
+	}
+	var targets []target
+	switch {
+	case *all:
+		for _, b := range append(workloads.Suite(), workloads.Extended()...) {
+			targets = append(targets, target{b.Name, b.Source})
+		}
+	case *benchName != "":
+		b, ok := workloads.ByName(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pylint: unknown benchmark %q\n", *benchName)
+			os.Exit(2)
+		}
+		targets = append(targets, target{b.Name, b.Source})
+	default:
+		if flag.NArg() == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pylint: %v\n", err)
+				os.Exit(2)
+			}
+			targets = append(targets, target{path, string(data)})
+		}
+	}
+
+	failed := false
+	for _, tg := range targets {
+		if lintOne(tg.name, tg.src, *strict, *dumpCFG, *quiet) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintOne analyzes a single program and prints its findings; the return
+// value reports whether the target fails under the chosen strictness.
+func lintOne(name, src string, strict, dumpCFG, quiet bool) (failed bool) {
+	code, err := minipy.CompileSource(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		return true
+	}
+	rep, err := analysis.Analyze(code)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		return true
+	}
+	for _, d := range rep.Diagnostics {
+		fmt.Printf("%s: %s\n", name, d)
+	}
+	if dumpCFG {
+		for _, f := range rep.Funcs {
+			fmt.Print(f.Graph.String())
+		}
+	}
+	s := rep.Summarize()
+	if !quiet {
+		det := "deterministic"
+		if !s.Determinism.Certified {
+			det = fmt.Sprintf("NOT certified (unresolved: %v)",
+				s.Determinism.UnresolvedGlobals)
+		} else if s.Determinism.UsesIO {
+			det = "deterministic (uses io)"
+		}
+		fmt.Printf("%s: %d funcs, %d blocks, %d instrs, %.1f%% typed, %d error(s), %d warning(s), %s\n",
+			name, s.Functions, s.Blocks, s.Instructions, s.TypedInstrPct,
+			s.Errors, s.Warnings, det)
+	}
+	if s.Errors > 0 {
+		return true
+	}
+	if strict && (s.Warnings > 0 || !s.Determinism.Certified) {
+		return true
+	}
+	return false
+}

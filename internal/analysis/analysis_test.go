@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minipy"
+)
+
+// analyzeSrc compiles and analyzes a source fixture.
+func analyzeSrc(t *testing.T, src string) *Report {
+	t.Helper()
+	rep, err := Analyze(compile(t, src))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+// wantDiag asserts the report contains a diagnostic with the given rule and
+// severity whose message mentions frag, positioned at the given source line.
+func wantDiag(t *testing.T, rep *Report, rule string, sev Severity, line int, frag string) {
+	t.Helper()
+	for _, d := range rep.Diagnostics {
+		if d.Rule == rule && d.Severity == sev && strings.Contains(d.Msg, frag) {
+			if line != 0 && d.Line != line {
+				t.Errorf("%s diagnostic at line %d, want line %d: %s", rule, d.Line, line, d)
+			}
+			return
+		}
+	}
+	t.Errorf("no %s/%s diagnostic mentioning %q; got:", rule, sev, frag)
+	for _, d := range rep.Diagnostics {
+		t.Errorf("  %s", d)
+	}
+}
+
+func TestUseBeforeDefRejected(t *testing.T) {
+	rep := analyzeSrc(t, `
+def f():
+    y = x + 1
+    x = 2
+    return y
+
+def run():
+    return f()
+`)
+	wantDiag(t, rep, "use-before-def", ErrorSev, 3, `"x"`)
+	if len(rep.Errors()) == 0 {
+		t.Fatal("expected error-severity findings")
+	}
+	// Check() must reject with a positioned error.
+	err := Check(compile(t, "def f():\n    return q + 1\n    q = 0\n"))
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("Check returned %T (%v), want *analysis.Error", err, err)
+	}
+	if aerr.Rule != "use-before-def" || aerr.Line != 2 {
+		t.Errorf("Check error = %v, want use-before-def at line 2", aerr)
+	}
+}
+
+func TestPossiblyUnassignedWarns(t *testing.T) {
+	rep := analyzeSrc(t, `
+def f(flag):
+    if flag:
+        x = 1
+    return x
+`)
+	wantDiag(t, rep, "possibly-unassigned", Warning, 5, `"x"`)
+	if len(rep.Errors()) != 0 {
+		t.Errorf("one-armed assignment must warn, not error: %v", rep.Errors())
+	}
+}
+
+func TestDefiniteAssignmentJoin(t *testing.T) {
+	// Assigned on both arms: no finding at all.
+	rep := analyzeSrc(t, `
+def f(flag):
+    if flag:
+        x = 1
+    else:
+        x = 2
+    return x
+`)
+	for _, d := range rep.Diagnostics {
+		if d.Rule == "use-before-def" || d.Rule == "possibly-unassigned" {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+func TestLoopVariableAssignment(t *testing.T) {
+	// A for-loop variable is assigned by the loop protocol; reading it
+	// inside the body is fine, and after the loop it is only
+	// possibly-assigned (zero-iteration loops skip the store).
+	rep := analyzeSrc(t, `
+def f(n):
+    for i in range(n):
+        use = i
+    return i
+`)
+	wantDiag(t, rep, "possibly-unassigned", Warning, 0, `"i"`)
+	if len(rep.Errors()) != 0 {
+		t.Errorf("unexpected errors: %v", rep.Errors())
+	}
+}
+
+func TestCertainTypeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+		line            int
+	}{
+		{"str-minus-str", "def f():\n    return \"a\" - \"b\"\n", "unsupported operand", 2},
+		{"int-plus-none", "def f():\n    x = None\n    return 1 + x\n", "unsupported operand", 3},
+		{"int-times-list", "def f():\n    return 3 * [1, 2]\n", "unsupported operand", 2},
+		{"subscript-int", "def f():\n    x = 5\n    return x[0]\n", "not subscriptable", 3},
+		{"call-int", "def f():\n    x = 7\n    return x()\n", "not callable", 3},
+		{"iter-float", "def f():\n    for v in 1.5:\n        pass\n    return 0\n", "not iterable", 2},
+		{"attr-on-int", "def f():\n    x = 3\n    return x.bits\n", "no attribute", 3},
+		{"unknown-list-method", "def f():\n    l = [1]\n    return l.push(2)\n", "no attribute", 3},
+		{"neg-str", "def f():\n    return -\"abc\"\n", "unary -", 2},
+		{"store-index-str", "def f():\n    s = \"abc\"\n    s[0] = \"x\"\n    return s\n", "item assignment", 3},
+		{"str-mod", "def f():\n    return \"x\" % 3\n", "unsupported operand", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := analyzeSrc(t, tc.src)
+			wantDiag(t, rep, "type-error", ErrorSev, tc.line, tc.frag)
+		})
+	}
+}
+
+func TestTypeInferenceSilentOnValidPrograms(t *testing.T) {
+	// Mixed-type joins must degrade to ⊤, never to a false error.
+	rep := analyzeSrc(t, `
+def f(flag):
+    if flag:
+        x = 1
+    else:
+        x = "s"
+    return str(x) + "!"
+
+def run():
+    return f(True) + f(False)
+`)
+	if errs := rep.Errors(); len(errs) != 0 {
+		t.Errorf("valid program flagged: %v", errs)
+	}
+}
+
+func TestGlobalMutationDemotesType(t *testing.T) {
+	// g is Int at module level but a function rebinds it to Str: reads must
+	// see ⊤, so g + 1 cannot be flagged.
+	rep := analyzeSrc(t, `
+g = 1
+
+def rebind():
+    global g
+    g = "s"
+
+def f():
+    return g + 1
+`)
+	if errs := rep.Errors(); len(errs) != 0 {
+		t.Errorf("demoted global wrongly flagged: %v", errs)
+	}
+}
+
+func TestModuleTypedGlobalFlagged(t *testing.T) {
+	// g is a module constant no function rebinds, so g - g on strings is a
+	// certain error.
+	rep := analyzeSrc(t, `
+g = "const"
+
+def f():
+    return g - g
+`)
+	wantDiag(t, rep, "type-error", ErrorSev, 5, "unsupported operand")
+}
+
+func TestDeadStoreDetected(t *testing.T) {
+	rep := analyzeSrc(t, `
+def f():
+    x = 41
+    x = 1
+    return x
+`)
+	wantDiag(t, rep, "dead-store", Warning, 3, `"x"`)
+}
+
+func TestUnusedLoopVarIsInfo(t *testing.T) {
+	rep := analyzeSrc(t, `
+def f(n):
+    total = 0
+    for it in range(n):
+        total = total + 1
+    return total
+`)
+	wantDiag(t, rep, "unused-loop-var", Info, 4, `"it"`)
+	if len(rep.Errors()) != 0 || len(rep.Warnings()) != 0 {
+		t.Errorf("unused loop var must be info-only; errors=%v warnings=%v",
+			rep.Errors(), rep.Warnings())
+	}
+}
+
+func TestUnreachableCodeWarned(t *testing.T) {
+	rep := analyzeSrc(t, `
+def f():
+    return 1
+    x = 2
+    return x
+`)
+	wantDiag(t, rep, "unreachable-code", Warning, 0, "unreachable")
+}
+
+func TestEpilogueNotFlaggedUnreachable(t *testing.T) {
+	// All paths return explicitly: only the compiler's implicit epilogue is
+	// unreachable, and it must not be reported.
+	rep := analyzeSrc(t, `
+def f(x):
+    if x:
+        return 1
+    else:
+        return 2
+`)
+	for _, d := range rep.Diagnostics {
+		if d.Rule == "unreachable-code" {
+			t.Errorf("implicit epilogue flagged: %s", d)
+		}
+	}
+	for _, f := range rep.Funcs {
+		if f.Name == "f" && f.Unreachable != 0 {
+			t.Errorf("epilogue counted as unreachable: %d instrs", f.Unreachable)
+		}
+	}
+}
+
+func TestDeterminismCertificate(t *testing.T) {
+	rep := analyzeSrc(t, `
+def run():
+    return sqrt(2.0) + len([1, 2])
+`)
+	cert := rep.Certificate
+	if !cert.Certified {
+		t.Fatalf("pure workload not certified: %+v", cert)
+	}
+	if cert.UsesIO {
+		t.Error("no print call but UsesIO set")
+	}
+	want := []string{"len", "sqrt"}
+	if len(cert.Builtins) != 2 || cert.Builtins[0] != want[0] || cert.Builtins[1] != want[1] {
+		t.Errorf("builtins = %v, want %v", cert.Builtins, want)
+	}
+
+	rep = analyzeSrc(t, `
+def run():
+    print("hi")
+    return 0
+`)
+	if !rep.Certificate.Certified || !rep.Certificate.UsesIO {
+		t.Errorf("print: want certified with UsesIO, got %+v", rep.Certificate)
+	}
+
+	rep = analyzeSrc(t, `
+def run():
+    return mystery_global()
+`)
+	cert = rep.Certificate
+	if cert.Certified {
+		t.Error("unresolved global must void certification")
+	}
+	if len(cert.UnresolvedGlobals) != 1 || cert.UnresolvedGlobals[0] != "mystery_global" {
+		t.Errorf("unresolved = %v", cert.UnresolvedGlobals)
+	}
+	wantDiag(t, rep, "unresolved-global", Warning, 0, "mystery_global")
+}
+
+func TestSummaryShape(t *testing.T) {
+	rep := analyzeSrc(t, `
+def run():
+    total = 0
+    for i in range(10):
+        total = total + i
+    return total
+`)
+	s := rep.Summarize()
+	if s.Functions != 2 { // module + run
+		t.Errorf("functions = %d, want 2", s.Functions)
+	}
+	if s.Blocks == 0 || s.Instructions == 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	if s.TypedInstrPct <= 0 || s.TypedInstrPct > 100 {
+		t.Errorf("typed pct out of range: %v", s.TypedInstrPct)
+	}
+	if !s.Determinism.Certified {
+		t.Errorf("expected certification: %+v", s.Determinism)
+	}
+}
+
+func TestClosuresStayConservative(t *testing.T) {
+	// A closure rebinds the cell after capture; the analyzer must not trust
+	// the pre-call cell type (false positive) nor flag the unassigned-then-
+	// callback-assigned pattern as a certain error.
+	rep := analyzeSrc(t, `
+def outer():
+    x = "s"
+    def fix():
+        nonlocal x
+        x = 1
+    fix()
+    return x + 1
+
+def run():
+    return outer()
+`)
+	if errs := rep.Errors(); len(errs) != 0 {
+		t.Errorf("closure retyping wrongly flagged: %v", errs)
+	}
+}
+
+func TestAnalyzeRejectsUnverifiedCode(t *testing.T) {
+	bad := &minipy.Code{Name: "bad", Ops: []minipy.Instr{{Op: minipy.OpReturn}}}
+	if _, err := Analyze(bad); err == nil {
+		t.Error("stack-underflowing code must fail verification inside Analyze")
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/minipy"
+)
+
+// checkLiveness runs a backward liveness dataflow over local slots and
+// reports dead stores: a STORE_LOCAL whose value no execution path reads
+// before the next store (or the end of the frame). Stores to cell variables
+// are never dead — the cell aliases into closures the analysis cannot see.
+// Loop-variable stores (the STORE_LOCAL immediately after FOR_ITER) are
+// classified separately as unused-loop-var infos: `for _ in range(n)`-style
+// repeat loops are idiomatic in benchmarks, not defects.
+func checkLiveness(g *Graph, r *Report, f *FuncReport) {
+	c := g.Code
+	nlocals := len(c.LocalNames)
+	if nlocals == 0 {
+		return
+	}
+
+	nb := len(g.Blocks)
+	use := make([]bitset, nb) // read before any write in the block
+	def := make([]bitset, nb) // written in the block
+	liveIn := make([]bitset, nb)
+	liveOut := make([]bitset, nb)
+	for i := 0; i < nb; i++ {
+		use[i] = newBitset(nlocals)
+		def[i] = newBitset(nlocals)
+		liveIn[i] = newBitset(nlocals)
+		liveOut[i] = newBitset(nlocals)
+		b := g.Blocks[i]
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := c.Ops[pc]
+			switch ins.Op {
+			case minipy.OpLoadLocal:
+				if !def[i].get(int(ins.Arg)) {
+					use[i].set(int(ins.Arg))
+				}
+			case minipy.OpStoreLocal:
+				def[i].set(int(ins.Arg))
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Iterating blocks in reverse RPO converges backward problems fast.
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			id := g.RPO[i]
+			out := newBitset(nlocals)
+			for _, s := range g.Blocks[id].Succs {
+				out.or(liveIn[s])
+			}
+			in := out.clone()
+			for j := range in {
+				in[j] &^= def[id][j]
+				in[j] |= use[id][j]
+			}
+			if !out.equal(liveOut[id]) || !in.equal(liveIn[id]) {
+				liveOut[id].copyFrom(out)
+				liveIn[id].copyFrom(in)
+				changed = true
+			}
+		}
+	}
+
+	// Walk each reachable block backward with a running live set and flag
+	// stores into dead slots.
+	for _, id := range g.RPO {
+		b := g.Blocks[id]
+		live := liveOut[id].clone()
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			ins := c.Ops[pc]
+			switch ins.Op {
+			case minipy.OpLoadLocal:
+				live.set(int(ins.Arg))
+			case minipy.OpStoreLocal:
+				slot := int(ins.Arg)
+				if !live.get(slot) {
+					name := c.LocalNames[slot]
+					if pc > 0 && c.Ops[pc-1].Op == minipy.OpForIter {
+						f.UnusedLoops++
+						r.Diagnostics = append(r.Diagnostics, Diagnostic{
+							Func: c.Name, PC: pc, Line: lineOf(c, pc),
+							Severity: Info, Rule: "unused-loop-var",
+							Msg: fmt.Sprintf("loop variable %q is never read", name),
+						})
+					} else {
+						f.DeadStores++
+						r.Diagnostics = append(r.Diagnostics, Diagnostic{
+							Func: c.Name, PC: pc, Line: lineOf(c, pc),
+							Severity: Warning, Rule: "dead-store",
+							Msg: fmt.Sprintf("value stored to %q is never read", name),
+						})
+					}
+				}
+				live[slot/64] &^= 1 << uint(slot%64)
+			}
+		}
+	}
+}

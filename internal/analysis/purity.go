@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/minipy"
+	"repro/internal/vm"
+)
+
+// audit performs the determinism/purity check for a whole module: every
+// LOAD_GLOBAL name must resolve either to a global the module itself defines
+// or to a deterministic builtin. A workload passing this audit can only
+// compute seed-determined results — the property the methodology's
+// run-to-run comparisons assume — and the resulting certificate travels
+// with every -json report.
+func audit(code *minipy.Code, mctx *modCtx) Certificate {
+	det := vm.DeterministicBuiltins()
+	io := vm.IOBuiltins()
+
+	loads := map[string]bool{}
+	var walk func(c *minipy.Code)
+	walk = func(c *minipy.Code) {
+		for _, ins := range c.Ops {
+			if ins.Op == minipy.OpLoadGlobal {
+				loads[c.Names[ins.Arg]] = true
+			}
+		}
+		for _, k := range c.Consts {
+			if sub, ok := k.(*minipy.Code); ok {
+				walk(sub)
+			}
+		}
+	}
+	walk(code)
+
+	cert := Certificate{Certified: true}
+	for name := range loads {
+		if mctx.defined[name] {
+			continue
+		}
+		if det[name] {
+			cert.Builtins = append(cert.Builtins, name)
+			if io[name] {
+				cert.UsesIO = true
+			}
+			continue
+		}
+		cert.Certified = false
+		cert.UnresolvedGlobals = append(cert.UnresolvedGlobals, name)
+	}
+	sort.Strings(cert.Builtins)
+	sort.Strings(cert.UnresolvedGlobals)
+	return cert
+}

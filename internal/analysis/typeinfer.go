@@ -1,0 +1,865 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/minipy"
+	"repro/internal/vm"
+)
+
+// Type is an element of the flat abstract-type lattice:
+//
+//	⊥ ⊑ {Int, Float, Str, Bool, List, Dict, Tuple, Func, None, Range,
+//	     Class, Obj, Iter} ⊑ ⊤
+//
+// ⊥ means "no execution reaches here"; ⊤ means "any type". Because the
+// lattice is flat, a concrete element at a program point means every path
+// reaching that point produces that type — which is what licenses the
+// analyzer to flag a "certain" type error.
+type Type int
+
+// Lattice elements.
+const (
+	TBottom Type = iota
+	TInt
+	TFloat
+	TStr
+	TBool
+	TList
+	TDict
+	TTuple
+	TFunc
+	TNone
+	TRange
+	TClass
+	TObj
+	TIter
+	TTop
+)
+
+var typeNames = [...]string{
+	TBottom: "⊥", TInt: "int", TFloat: "float", TStr: "str", TBool: "bool",
+	TList: "list", TDict: "dict", TTuple: "tuple", TFunc: "function",
+	TNone: "None", TRange: "range", TClass: "class", TObj: "object",
+	TIter: "iterator", TTop: "⊤",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// absVal is an abstract value: a lattice element plus optional provenance.
+// Fn carries callable identity ("b:len" builtin, "u:name" user function,
+// "m:list.append" bound method, or the class name for TClass/TObj); Elem is
+// the element type of a TIter.
+type absVal struct {
+	T    Type
+	Fn   string
+	Elem Type
+}
+
+var top = absVal{T: TTop}
+
+// join is the lattice least upper bound, merging provenance only when it
+// agrees.
+func join(a, b absVal) absVal {
+	if a.T == TBottom {
+		return b
+	}
+	if b.T == TBottom {
+		return a
+	}
+	if a.T != b.T {
+		return top
+	}
+	out := absVal{T: a.T}
+	if a.Fn == b.Fn {
+		out.Fn = a.Fn
+	}
+	if a.Elem == b.Elem {
+		out.Elem = a.Elem
+	} else {
+		out.Elem = TTop
+	}
+	return out
+}
+
+// concrete reports whether t is a single known runtime type (neither ⊤ nor
+// ⊥). Only concrete operands can justify a certain-error diagnostic.
+func concrete(t Type) bool { return t != TTop && t != TBottom }
+
+// typeIn reports membership of t in set.
+func typeIn(t Type, set ...Type) bool {
+	for _, s := range set {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// modCtx is the module-level typing context shared by all function
+// analyses: the abstract type of every module global plus the set of
+// module-defined names.
+type modCtx struct {
+	globals map[string]absVal
+	defined map[string]bool // names with a STORE_GLOBAL anywhere in the module
+	// builtins is the deterministic builtin set exported by the VM; values
+	// resolve to TFunc (or Float for the pi constant).
+	builtins map[string]bool
+}
+
+// collectStoreGlobals records every STORE_GLOBAL name in c into defined and,
+// when c is not the module body, into demoted (a nested function mutating a
+// global at runtime invalidates whatever type the module body gave it).
+func collectStoreGlobals(c *minipy.Code, isModule bool, defined, demoted map[string]bool) {
+	for _, ins := range c.Ops {
+		if ins.Op == minipy.OpStoreGlobal {
+			name := c.Names[ins.Arg]
+			defined[name] = true
+			if !isModule {
+				demoted[name] = true
+			}
+		}
+	}
+	for _, k := range c.Consts {
+		if sub, ok := k.(*minipy.Code); ok {
+			collectStoreGlobals(sub, false, defined, demoted)
+		}
+	}
+}
+
+// moduleContext computes the global typing environment by abstractly
+// interpreting the module body until the globals map stops changing, then
+// demoting any global a nested function also stores. Function analyses read
+// the result as a fixed environment.
+func moduleContext(code *minipy.Code) *modCtx {
+	ctx := &modCtx{
+		globals:  map[string]absVal{},
+		defined:  map[string]bool{},
+		builtins: vm.DeterministicBuiltins(),
+	}
+	demoted := map[string]bool{}
+	collectStoreGlobals(code, true, ctx.defined, demoted)
+
+	g := BuildCFG(code)
+	// The globals map both feeds LOAD_GLOBAL and accumulates STORE_GLOBAL
+	// joins, so one worklist pass can read a stale type; iterate to an
+	// outer fixed point (the flat lattice bounds this to a few rounds).
+	for i := 0; i < 10; i++ {
+		before := fmt.Sprint(ctx.globals)
+		interpret(g, ctx, true, nil, nil)
+		if fmt.Sprint(ctx.globals) == before {
+			break
+		}
+	}
+	for name := range demoted {
+		ctx.globals[name] = top
+	}
+	return ctx
+}
+
+// inferTypes runs the type-lattice abstract interpretation for one code
+// object, emitting certain-error diagnostics and filling the report's
+// type-coverage counters.
+func inferTypes(g *Graph, mctx *modCtx, r *Report, f *FuncReport) {
+	interpret(g, mctx, false, r, f)
+}
+
+// state is the abstract machine state at a block boundary.
+type state struct {
+	stack  []absVal
+	locals []absVal
+	cells  []absVal
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		stack:  append([]absVal{}, s.stack...),
+		locals: append([]absVal{}, s.locals...),
+		cells:  append([]absVal{}, s.cells...),
+	}
+	return c
+}
+
+// joinInto merges o into s, reporting whether s changed. Stack depths agree
+// by the bytecode verifier's join-consistency guarantee.
+func (s *state) joinInto(o *state) bool {
+	changed := false
+	merge := func(dst []absVal, src []absVal) {
+		for i := range dst {
+			j := join(dst[i], src[i])
+			if j != dst[i] {
+				dst[i] = j
+				changed = true
+			}
+		}
+	}
+	merge(s.stack, o.stack)
+	merge(s.locals, o.locals)
+	merge(s.cells, o.cells)
+	return changed
+}
+
+// interpret is the shared abstract-interpretation engine. In module mode it
+// updates mctx.globals on STORE_GLOBAL and emits no diagnostics (r and f are
+// nil); in function mode the globals map is read-only and findings are
+// recorded.
+func interpret(g *Graph, mctx *modCtx, moduleMode bool, r *Report, f *FuncReport) {
+	c := g.Code
+	nb := len(g.Blocks)
+	in := make([]*state, nb)
+
+	entry := &state{
+		locals: make([]absVal, len(c.LocalNames)),
+		cells:  make([]absVal, c.NumCells()),
+	}
+	// Parameter types are unknown at this intraprocedural level; everything
+	// else starts ⊥ (unassigned — definite assignment reports those).
+	for i := 0; i < c.NumParams; i++ {
+		entry.locals[i] = top
+	}
+	for j, local := range c.CellLocals {
+		if local < c.NumParams {
+			entry.cells[j] = top
+		}
+	}
+	for j := len(c.CellLocals); j < c.NumCells(); j++ {
+		entry.cells[j] = top
+	}
+	in[g.RPO[0]] = entry
+
+	warnedGlobals := map[string]bool{}
+	work := []int{g.RPO[0]}
+	inWork := make([]bool, nb)
+	inWork[g.RPO[0]] = true
+
+	var emit func(pc int, rule, format string, args ...interface{})
+	flagged := map[int]bool{}
+	emit = func(pc int, rule, format string, args ...interface{}) {
+		if r == nil || flagged[pc] {
+			return
+		}
+		flagged[pc] = true
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Func: c.Name, PC: pc, Line: lineOf(c, pc),
+			Severity: ErrorSev, Rule: rule,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	warn := func(pc int, rule, format string, args ...interface{}) {
+		if r == nil {
+			return
+		}
+		r.Diagnostics = append(r.Diagnostics, Diagnostic{
+			Func: c.Name, PC: pc, Line: lineOf(c, pc),
+			Severity: Warning, Rule: rule,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// step executes one instruction against st, returning diagnostics via
+	// emit. `report` is false during fixed-point iteration and true on the
+	// final reporting pass (so each site is judged on converged types).
+	step := func(pc int, st *state, report bool) {
+		ins := c.Ops[pc]
+		arg := int(ins.Arg)
+		push := func(v absVal) { st.stack = append(st.stack, v) }
+		pop := func() absVal {
+			v := st.stack[len(st.stack)-1]
+			st.stack = st.stack[:len(st.stack)-1]
+			return v
+		}
+		typed := true
+		note := func(vs ...absVal) {
+			for _, v := range vs {
+				if v.T == TTop {
+					typed = false
+				}
+			}
+		}
+		defer func() {
+			if report && f != nil {
+				if typed {
+					f.Typed++
+				}
+				if len(st.stack) > 0 && f.Types != nil {
+					f.Types[pc] = st.stack[len(st.stack)-1].T.String()
+				}
+			}
+		}()
+
+		switch ins.Op {
+		case minipy.OpNop:
+		case minipy.OpLoadConst:
+			push(constType(c.Consts[arg]))
+		case minipy.OpLoadLocal:
+			v := st.locals[arg]
+			note(v)
+			push(v)
+		case minipy.OpStoreLocal:
+			st.locals[arg] = pop()
+		case minipy.OpLoadCell:
+			// Cells are shared with closures: any call can retype a cell
+			// behind this function's back, so cell reads are always ⊤. The
+			// per-function cells array exists only to keep state shapes
+			// uniform.
+			note(top)
+			push(top)
+		case minipy.OpStoreCell:
+			pop()
+		case minipy.OpPushCell:
+			// Pushes the cell container for closure capture; the consumer
+			// is MAKE_FUNCTION, which we model opaquely.
+			push(top)
+		case minipy.OpLoadGlobal:
+			name := c.Names[arg]
+			v, known := resolveGlobal(mctx, name)
+			if !known && report && !warnedGlobals[name] {
+				warnedGlobals[name] = true
+				warn(pc, "unresolved-global",
+					"global %q is neither module-defined nor a builtin", name)
+			}
+			note(v)
+			push(v)
+		case minipy.OpStoreGlobal:
+			v := pop()
+			if moduleMode {
+				name := c.Names[arg]
+				if old, ok := mctx.globals[name]; ok {
+					mctx.globals[name] = join(old, v)
+				} else {
+					mctx.globals[name] = v
+				}
+			}
+		case minipy.OpLoadAttr:
+			target := pop()
+			name := c.Names[arg]
+			note(target)
+			push(attrType(target, name, pc, report, emit))
+		case minipy.OpStoreAttr:
+			// Pops value, then target (value on top).
+			pop()
+			target := pop()
+			note(target)
+			if report && typeIn(target.T, TInt, TFloat, TBool, TNone, TStr,
+				TList, TDict, TTuple, TRange, TFunc) {
+				emit(pc, "type-error",
+					"'%s' object does not support attribute assignment", target.T)
+			}
+		case minipy.OpBinary:
+			b := pop()
+			a := pop()
+			note(a, b)
+			push(binaryType(minipy.BinOpCode(ins.Arg), a, b, pc, report, emit))
+		case minipy.OpUnary:
+			v := pop()
+			note(v)
+			push(unaryType(minipy.UnOpCode(ins.Arg), v, pc, report, emit))
+		case minipy.OpCall:
+			args := make([]absVal, arg)
+			for i := arg - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			callee := pop()
+			note(callee)
+			push(callType(callee, args, pc, report, emit))
+		case minipy.OpPop:
+			pop()
+		case minipy.OpDup:
+			v := st.stack[len(st.stack)-1]
+			push(v)
+		case minipy.OpDup2:
+			a := st.stack[len(st.stack)-2]
+			b := st.stack[len(st.stack)-1]
+			push(a)
+			push(b)
+		case minipy.OpBuildList:
+			for i := 0; i < arg; i++ {
+				pop()
+			}
+			push(absVal{T: TList})
+		case minipy.OpBuildTuple:
+			for i := 0; i < arg; i++ {
+				pop()
+			}
+			push(absVal{T: TTuple})
+		case minipy.OpBuildDict:
+			for i := 0; i < 2*arg; i++ {
+				pop()
+			}
+			push(absVal{T: TDict})
+		case minipy.OpBuildClass:
+			for i := 0; i < 2*arg+2; i++ {
+				pop()
+			}
+			push(absVal{T: TClass})
+		case minipy.OpIndexGet:
+			idx := pop()
+			target := pop()
+			note(target, idx)
+			push(indexGetType(target, idx, pc, report, emit))
+		case minipy.OpIndexSet:
+			pop() // value
+			pop() // index
+			target := pop()
+			note(target)
+			if report && typeIn(target.T, TInt, TFloat, TBool, TNone, TStr, TTuple, TRange) {
+				emit(pc, "type-error",
+					"'%s' object does not support item assignment", target.T)
+			}
+		case minipy.OpSliceGet:
+			pop() // hi
+			pop() // lo
+			target := pop()
+			note(target)
+			if report && typeIn(target.T, TInt, TFloat, TBool, TNone) {
+				emit(pc, "type-error", "'%s' object is not sliceable", target.T)
+			}
+			switch target.T {
+			case TStr:
+				push(absVal{T: TStr})
+			case TList:
+				push(absVal{T: TList})
+			case TTuple:
+				push(absVal{T: TTuple})
+			default:
+				push(top)
+			}
+		case minipy.OpDelIndex:
+			pop() // index
+			target := pop()
+			note(target)
+			if report && typeIn(target.T, TInt, TFloat, TBool, TNone, TStr, TTuple, TRange) {
+				emit(pc, "type-error",
+					"'%s' object does not support item deletion", target.T)
+			}
+		case minipy.OpGetIter:
+			v := pop()
+			note(v)
+			if report && typeIn(v.T, TInt, TFloat, TBool, TNone) {
+				emit(pc, "type-error", "'%s' object is not iterable", v.T)
+			}
+			elem := TTop
+			switch v.T {
+			case TRange:
+				elem = TInt
+			case TStr:
+				elem = TStr
+			}
+			push(absVal{T: TIter, Elem: elem})
+		case minipy.OpMakeFunction:
+			sub := c.Consts[arg].(*minipy.Code)
+			for i := 0; i < len(sub.FreeNames); i++ {
+				pop()
+			}
+			push(absVal{T: TFunc, Fn: "u:" + sub.Name})
+		case minipy.OpUnpack:
+			seq := pop()
+			note(seq)
+			if report && typeIn(seq.T, TInt, TFloat, TBool, TNone) {
+				emit(pc, "type-error", "cannot unpack non-sequence '%s'", seq.T)
+			}
+			elem := top
+			if seq.T == TStr {
+				elem = absVal{T: TStr}
+			}
+			for i := 0; i < arg; i++ {
+				push(elem)
+			}
+		default:
+			// Control ops never reach step (block terminators handled by
+			// the edge propagation below); anything else is unknown.
+			push(top)
+		}
+	}
+
+	// runBlock executes a block body (minus its terminator when the
+	// terminator is a control op) and returns the exit state.
+	runBlock := func(id int, report bool) *state {
+		st := in[id].clone()
+		b := g.Blocks[id]
+		end := b.End
+		if isTerminator(c, b.End-1) {
+			end = b.End - 1
+		}
+		for pc := b.Start; pc < end; pc++ {
+			step(pc, st, report)
+		}
+		return st
+	}
+
+	// propagate joins st into the in-state of the block holding target pc.
+	propagate := func(targetPC int, st *state) {
+		id := g.BlockOf[targetPC]
+		if in[id] == nil {
+			in[id] = st.clone()
+		} else if !in[id].joinInto(st) {
+			return
+		}
+		if !inWork[id] {
+			inWork[id] = true
+			work = append(work, id)
+		}
+	}
+
+	// flow applies the terminator's edge-specific stack effects.
+	flow := func(id int, st *state, report bool) {
+		b := g.Blocks[id]
+		last := b.End - 1
+		ins := c.Ops[last]
+		arg := int(ins.Arg)
+		switch ins.Op {
+		case minipy.OpReturn:
+			return
+		case minipy.OpJump:
+			propagate(arg, st)
+		case minipy.OpJumpIfFalse, minipy.OpJumpIfTrue:
+			popped := st.clone()
+			popped.stack = popped.stack[:len(popped.stack)-1]
+			propagate(arg, popped)
+			propagate(last+1, popped)
+		case minipy.OpJumpIfFalseKeep, minipy.OpJumpIfTrueKeep:
+			propagate(arg, st) // jump path keeps the tested value
+			popped := st.clone()
+			popped.stack = popped.stack[:len(popped.stack)-1]
+			propagate(last+1, popped)
+		case minipy.OpForIter:
+			iter := st.stack[len(st.stack)-1]
+			if report && concrete(iter.T) && iter.T != TIter {
+				// GET_ITER always precedes FOR_ITER in compiled code, so a
+				// non-iterator here indicates an analyzer bug rather than a
+				// source defect; stay silent.
+				_ = iter
+			}
+			exit := st.clone()
+			exit.stack = exit.stack[:len(exit.stack)-1]
+			propagate(arg, exit)
+			loop := st.clone()
+			elem := top
+			if iter.T == TIter {
+				elem = absVal{T: iter.Elem}
+				if iter.Elem == TBottom {
+					elem = top
+				}
+			}
+			loop.stack = append(loop.stack, elem)
+			propagate(last+1, loop)
+		default:
+			// Fallthrough block boundary (leader split without a control
+			// op): state passes through unchanged.
+			propagate(last+1, st)
+		}
+	}
+
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[id] = false
+		st := runBlock(id, false)
+		b := g.Blocks[id]
+		if isTerminator(c, b.End-1) {
+			flow(id, st, false)
+		} else if b.End < len(c.Ops) {
+			propagate(b.End, st)
+		}
+	}
+
+	// Final reporting pass over converged states.
+	if f != nil {
+		f.Types = make([]string, len(c.Ops))
+	}
+	for _, id := range g.RPO {
+		if in[id] == nil {
+			continue
+		}
+		st := runBlock(id, true)
+		b := g.Blocks[id]
+		if isTerminator(c, b.End-1) {
+			flow(id, st, true)
+			if f != nil {
+				// Terminators count as typed when their operands are (jumps
+				// test the popped condition; RETURN pops the result).
+				switch c.Ops[b.End-1].Op {
+				case minipy.OpJump:
+					f.Typed++
+				default:
+					if len(st.stack) > 0 && st.stack[len(st.stack)-1].T != TTop {
+						f.Typed++
+					}
+				}
+			}
+		}
+	}
+}
+
+// resolveGlobal looks a name up in the module environment, then the builtin
+// namespace. known=false means the name would raise NameError unless some
+// dynamic path defines it first.
+func resolveGlobal(mctx *modCtx, name string) (absVal, bool) {
+	if v, ok := mctx.globals[name]; ok {
+		return v, true
+	}
+	if mctx.defined[name] {
+		// Stored somewhere but never typed (e.g. only inside a nested
+		// function): resolvable, type unknown.
+		return top, true
+	}
+	if mctx.builtins[name] {
+		if name == "pi" {
+			return absVal{T: TFloat}, true
+		}
+		return absVal{T: TFunc, Fn: "b:" + name}, true
+	}
+	return top, false
+}
+
+// constType maps a constant-pool value to its lattice element.
+func constType(v minipy.Value) absVal {
+	switch v.(type) {
+	case minipy.Int:
+		return absVal{T: TInt}
+	case minipy.Float:
+		return absVal{T: TFloat}
+	case minipy.Str:
+		return absVal{T: TStr}
+	case minipy.Bool:
+		return absVal{T: TBool}
+	case minipy.NoneType:
+		return absVal{T: TNone}
+	case *minipy.Tuple:
+		return absVal{T: TTuple}
+	}
+	return top
+}
+
+// numeric reports whether t participates in arithmetic promotion.
+func numeric(t Type) bool { return typeIn(t, TInt, TFloat, TBool) }
+
+// binaryType models vm/ops.go binary() on abstract operands, flagging
+// combinations that raise TypeError on every execution.
+func binaryType(op minipy.BinOpCode, a, b absVal, pc int, report bool,
+	emit func(int, string, string, ...interface{})) absVal {
+	switch op {
+	case minipy.BinEq, minipy.BinNe, minipy.BinLt, minipy.BinLe,
+		minipy.BinGt, minipy.BinGe:
+		// Comparisons always produce Bool; ordering of mixed types raises
+		// at runtime but the operands' *values* (e.g. comparable ints
+		// boxed as ⊤) can't be distinguished here, so never flag.
+		return absVal{T: TBool}
+	case minipy.BinIn:
+		if report && typeIn(b.T, TInt, TFloat, TBool, TNone) {
+			emit(pc, "type-error", "argument of type '%s' is not iterable", b.T)
+		}
+		return absVal{T: TBool}
+	}
+	// Arithmetic family. Bool coerces to Int first.
+	at, bt := a.T, b.T
+	if at == TBool {
+		at = TInt
+	}
+	if bt == TBool {
+		bt = TInt
+	}
+	if !concrete(at) || !concrete(bt) {
+		// One side unknown: result numeric-ish but unprovable.
+		return top
+	}
+	if numeric(at) && numeric(bt) {
+		if op == minipy.BinDiv {
+			return absVal{T: TFloat}
+		}
+		if at == TFloat || bt == TFloat {
+			return absVal{T: TFloat}
+		}
+		if op == minipy.BinPow {
+			// int ** negative-int yields Float; sign is not tracked.
+			return top
+		}
+		return absVal{T: TInt}
+	}
+	bad := func() absVal {
+		if report {
+			emit(pc, "type-error",
+				"unsupported operand type(s) for %s: '%s' and '%s'", op, at, bt)
+		}
+		return top
+	}
+	if at == TStr {
+		switch op {
+		case minipy.BinAdd:
+			if bt == TStr {
+				return absVal{T: TStr}
+			}
+		case minipy.BinMul:
+			if bt == TInt {
+				return absVal{T: TStr}
+			}
+		}
+		return bad()
+	}
+	if at == TInt && bt == TStr && op == minipy.BinMul {
+		return absVal{T: TStr}
+	}
+	if at == TList {
+		switch op {
+		case minipy.BinAdd:
+			if bt == TList {
+				return absVal{T: TList}
+			}
+		case minipy.BinMul:
+			if bt == TInt {
+				return absVal{T: TList}
+			}
+		}
+		return bad()
+	}
+	if at == TTuple && bt == TTuple && op == minipy.BinAdd {
+		return absVal{T: TTuple}
+	}
+	if at == TObj || bt == TObj || at == TClass || bt == TClass {
+		// Instances have no operator protocol in MiniPy, but stay silent:
+		// flagging objects is where false positives would live if the VM
+		// ever grows dunder dispatch.
+		return top
+	}
+	return bad()
+}
+
+// unaryType models vm/ops.go unary().
+func unaryType(op minipy.UnOpCode, v absVal, pc int, report bool,
+	emit func(int, string, string, ...interface{})) absVal {
+	switch op {
+	case minipy.UnNot:
+		return absVal{T: TBool}
+	case minipy.UnNeg, minipy.UnPos:
+		switch v.T {
+		case TInt, TBool:
+			return absVal{T: TInt}
+		case TFloat:
+			return absVal{T: TFloat}
+		case TStr, TNone, TList, TDict, TTuple, TRange, TFunc:
+			if report {
+				sym := "-"
+				if op == minipy.UnPos {
+					sym = "+"
+				}
+				emit(pc, "type-error", "bad operand type for unary %s: '%s'", sym, v.T)
+			}
+		}
+		return top
+	}
+	return top
+}
+
+// indexGetType models vm/ops.go indexGet().
+func indexGetType(target, idx absVal, pc int, report bool,
+	emit func(int, string, string, ...interface{})) absVal {
+	if report && typeIn(target.T, TInt, TFloat, TBool, TNone) {
+		emit(pc, "type-error", "'%s' object is not subscriptable", target.T)
+	}
+	if report && typeIn(target.T, TList, TTuple, TStr) &&
+		typeIn(idx.T, TStr, TNone, TList, TDict, TTuple, TFloat) {
+		emit(pc, "type-error", "indices must be integers, not %s", idx.T)
+	}
+	if target.T == TStr {
+		return absVal{T: TStr}
+	}
+	return top
+}
+
+// Method-call return types, keyed "recv.method", mirroring vm/attr.go.
+var methodReturn = map[string]Type{
+	"list.append": TNone, "list.extend": TNone, "list.insert": TNone,
+	"list.remove": TNone, "list.reverse": TNone, "list.sort": TNone,
+	"list.pop": TTop, "list.index": TInt, "list.count": TInt,
+	"dict.get": TTop, "dict.pop": TTop,
+	"dict.keys": TList, "dict.values": TList, "dict.items": TList,
+	"str.split": TList, "str.join": TStr, "str.upper": TStr,
+	"str.lower": TStr, "str.strip": TStr, "str.replace": TStr,
+	"str.find": TInt, "str.startswith": TBool, "str.endswith": TBool,
+}
+
+// attrType models vm/attr.go getAttr(): method lookups on the built-in
+// container types resolve to bound methods with known return types; unknown
+// attributes on them are certain AttributeErrors.
+func attrType(target absVal, name string, pc int, report bool,
+	emit func(int, string, string, ...interface{})) absVal {
+	var recv string
+	switch target.T {
+	case TList:
+		recv = "list"
+	case TDict:
+		recv = "dict"
+	case TStr:
+		recv = "str"
+	case TObj, TClass, TTop, TBottom, TFunc:
+		// Instance fields, class attributes, and future extensions: unknown.
+		return top
+	default:
+		if report && typeIn(target.T, TInt, TFloat, TBool, TNone, TTuple, TRange) {
+			emit(pc, "type-error", "'%s' object has no attribute %q", target.T, name)
+		}
+		return top
+	}
+	key := recv + "." + name
+	if _, ok := methodReturn[key]; ok {
+		return absVal{T: TFunc, Fn: "m:" + key}
+	}
+	if report {
+		emit(pc, "type-error", "'%s' object has no attribute %q", recv, name)
+	}
+	return top
+}
+
+// Builtin return types, mirroring vm/builtins.go. Builtins absent from this
+// map (min, max, sum, pow, abs) return ⊤ — their result depends on argument
+// types.
+var builtinReturn = map[string]Type{
+	"len": TInt, "ord": TInt, "floor": TInt, "ceil": TInt, "hash": TInt,
+	"int": TInt,
+	"str": TStr, "repr": TStr, "chr": TStr, "type_name": TStr,
+	"float": TFloat, "sqrt": TFloat, "sin": TFloat, "cos": TFloat,
+	"tan": TFloat, "exp": TFloat, "log": TFloat, "atan2": TFloat,
+	"bool": TBool, "isinstance": TBool,
+	"list": TList, "sorted": TList, "tuple": TTuple, "dict": TDict,
+	"range": TRange, "print": TNone,
+}
+
+// callType models vm.call() on an abstract callee.
+func callType(callee absVal, args []absVal, pc int, report bool,
+	emit func(int, string, string, ...interface{})) absVal {
+	switch callee.T {
+	case TFunc:
+		if len(callee.Fn) > 2 {
+			kind, name := callee.Fn[:2], callee.Fn[2:]
+			switch kind {
+			case "b:":
+				if t, ok := builtinReturn[name]; ok {
+					return absVal{T: t}
+				}
+				// min/max/sum/pow/abs: argument-dependent.
+				return top
+			case "m:":
+				if t, ok := methodReturn[name]; ok {
+					return absVal{T: t}
+				}
+			}
+		}
+		return top
+	case TClass:
+		return absVal{T: TObj, Fn: callee.Fn}
+	case TTop, TBottom, TObj:
+		// TObj: instances are not callable today, but a __call__ protocol
+		// is plausible; stay silent like the binary-op case.
+		return top
+	default:
+		if report {
+			emit(pc, "type-error", "'%s' object is not callable", callee.T)
+		}
+		return top
+	}
+}

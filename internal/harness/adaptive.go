@@ -65,11 +65,11 @@ func (r *Runner) RunAdaptive(b workloads.Benchmark, opts AdaptiveOptions) (*Adap
 		pilot = maxInv
 	}
 
-	code, err := r.compiled(b)
+	code, summary, err := r.compiled(b)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Benchmark: b.Name, Mode: base.Mode, Opts: base}
+	res := &Result{Benchmark: b.Name, Mode: base.Mode, Opts: base, Analysis: summary}
 	addInvocations := func(n int) error {
 		for i := 0; i < n; i++ {
 			inv, err := r.runInvocation(code, base, len(res.Invocations))

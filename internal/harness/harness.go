@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/counters"
 	"repro/internal/metrics"
 	"repro/internal/minipy"
@@ -99,6 +100,12 @@ type Result struct {
 	// finished; nil unless an Observer with a metrics registry was
 	// attached.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+	// Analysis is the static-analysis digest of the workload (CFG size,
+	// dead code, type-inference coverage, determinism certificate),
+	// computed once per benchmark at compile time. It rides with every
+	// result so an archived report carries the evidence that its workload
+	// was deterministic and well-formed.
+	Analysis *analysis.Summary `json:"analysis,omitempty"`
 }
 
 // Hierarchical converts the measured times into the two-level sample shape
@@ -140,44 +147,58 @@ func (r *Result) CyclesMatrix() [][]uint64 {
 // goroutines without racing the front end.
 type Runner struct {
 	mu        sync.Mutex
-	codeCache map[string]*minipy.Code
+	codeCache map[string]compiledEntry
 	// obs holds the optional observability sinks (see observe.go). The
 	// zero value is free: disabled sinks cost one nil check each.
 	obs Observer
 }
 
-// NewRunner returns an empty runner.
-func NewRunner() *Runner {
-	return &Runner{codeCache: map[string]*minipy.Code{}}
+// compiledEntry pairs a workload's verified bytecode with its static-
+// analysis digest, both computed once and cached together.
+type compiledEntry struct {
+	code    *minipy.Code
+	summary *analysis.Summary
 }
 
-func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, error) {
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{codeCache: map[string]compiledEntry{}}
+}
+
+func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, *analysis.Summary, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c, ok := r.codeCache[b.Name]; ok {
+	if e, ok := r.codeCache[b.Name]; ok {
 		r.obs.Metrics.Counter(mCacheHits, "compiled-code cache hits").Inc()
-		return c, nil
+		return e.code, e.summary, nil
 	}
 	r.obs.Metrics.Counter(mCacheMisses, "compiled-code cache misses (front-end runs)").Inc()
 	c, err := b.Compile()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	r.codeCache[b.Name] = c
-	return c, nil
+	// Compile already ran analysis.Check (error-free guarantee); rerunning
+	// the passes here yields the full summary for report plumbing.
+	rep, err := analysis.Analyze(c)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
+	e := compiledEntry{code: c, summary: rep.Summarize()}
+	r.codeCache[b.Name] = e
+	return e.code, e.summary, nil
 }
 
 // Run executes the full experiment for one benchmark.
 func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	code, err := r.compiled(b)
+	code, summary, err := r.compiled(b)
 	if err != nil {
 		return nil, err
 	}
 	sp := r.obs.Trace.Begin(trace.CatBenchmark, b.Name+"/"+opts.Mode.String(),
 		"benchmark", b.Name, "mode", opts.Mode.String())
 	defer sp.End()
-	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts}
+	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts, Analysis: summary}
 	for i := 0; i < opts.Invocations; i++ {
 		inv, err := r.runInvocation(code, opts, i)
 		if err == nil {
@@ -232,9 +253,9 @@ func (r *Runner) runInvocation(code *minipy.Code,
 	}
 	var abort func() error
 	if opts.WallBudget > 0 {
-		deadline := time.Now().Add(opts.WallBudget)
+		deadline := time.Now().Add(opts.WallBudget) //benchlint:allow clock
 		abort = func() error {
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //benchlint:allow clock
 				return fmt.Errorf("wall budget %s exceeded", opts.WallBudget)
 			}
 			return nil

@@ -63,6 +63,33 @@ func TestWriteJSONDeterministic(t *testing.T) {
 	}
 }
 
+// TestGoldenJSONAnalysisKey asserts the static-analysis digest rides with
+// every serialized result: the "analysis" key must be present, count at
+// least the module + run() code objects, and carry a determinism
+// certificate for fib (a pure workload).
+func TestGoldenJSONAnalysisKey(t *testing.T) {
+	res, err := ReadResultJSON(bytes.NewReader(goldenRun(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Analysis
+	if a == nil {
+		t.Fatal("analysis key missing from JSON result")
+	}
+	if a.Functions < 2 || a.Blocks == 0 || a.Instructions == 0 {
+		t.Errorf("implausible analysis digest: %+v", a)
+	}
+	if a.Errors != 0 {
+		t.Errorf("shipped workload has %d analysis errors", a.Errors)
+	}
+	if a.TypedInstrPct <= 0 || a.TypedInstrPct > 100 {
+		t.Errorf("typed instruction coverage out of range: %v", a.TypedInstrPct)
+	}
+	if !a.Determinism.Certified {
+		t.Errorf("fib must certify deterministic: %+v", a.Determinism)
+	}
+}
+
 func TestGoldenJSONRoundTrip(t *testing.T) {
 	data := goldenRun(t)
 	res, err := ReadResultJSON(bytes.NewReader(data))

@@ -186,7 +186,7 @@ func (s *Supervisor) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 // its own derived store).
 func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt CheckpointStore) (*Result, error) {
 	opts = opts.withDefaults()
-	code, err := s.r.compiled(b)
+	code, summary, err := s.r.compiled(b)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
@@ -204,7 +204,7 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 		quorum = opts.Invocations
 	}
 
-	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts}
+	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts, Analysis: summary}
 	res.Supervision = &Supervision{
 		Planned:    opts.Invocations,
 		Quorum:     quorum,
@@ -228,6 +228,9 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 			res = restored
 			start = next
 			res.Supervision.ResumedFrom = start
+			// A checkpoint written by an older build may predate the
+			// analysis digest; always attach the freshly computed one.
+			res.Analysis = summary
 			obs.Trace.Instant(trace.CatSupervisor, "checkpoint-resume",
 				"benchmark", b.Name, "invocation", strconv.Itoa(start))
 			obs.Metrics.Counter(mResumes, "experiments resumed from a checkpoint").Inc()

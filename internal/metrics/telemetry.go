@@ -41,19 +41,19 @@ func CalibrateTimer(reg *Registry) Calibration {
 		overheadCalls    = 4096
 	)
 	minDelta := time.Duration(1<<63 - 1)
-	prev := time.Now()
+	prev := time.Now() //benchlint:allow clock
 	for i := 0; i < resolutionProbes; i++ {
-		now := time.Now()
+		now := time.Now() //benchlint:allow clock
 		if d := now.Sub(prev); d > 0 && d < minDelta {
 			minDelta = d
 		}
 		prev = now
 	}
-	begin := time.Now()
+	begin := time.Now() //benchlint:allow clock
 	for i := 0; i < overheadCalls; i++ {
-		_ = time.Now()
+		_ = time.Now() //benchlint:allow clock
 	}
-	elapsed := time.Since(begin)
+	elapsed := time.Since(begin) //benchlint:allow clock
 
 	cal := Calibration{
 		ResolutionNs: float64(minDelta.Nanoseconds()),
@@ -84,7 +84,7 @@ func StartGCSample(reg *Registry) *GCSampler {
 	if reg == nil {
 		return nil
 	}
-	s := &GCSampler{reg: reg, begin: time.Now()}
+	s := &GCSampler{reg: reg, begin: time.Now()} //benchlint:allow clock
 	runtime.ReadMemStats(&s.before)
 	return s
 }
@@ -97,7 +97,7 @@ func (s *GCSampler) Stop() {
 	}
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
-	host := time.Since(s.begin).Seconds()
+	host := time.Since(s.begin).Seconds() //benchlint:allow clock
 
 	s.reg.Counter(GCPauseTotalNs, "GC stop-the-world pause time inside invocations").
 		Add(after.PauseTotalNs - s.before.PauseTotalNs)

@@ -52,15 +52,15 @@ type Tracer struct {
 
 // New returns a tracer whose clock starts now.
 func New() *Tracer {
-	t := &Tracer{start: time.Now(), meta: map[string]string{}}
-	t.now = func() time.Duration { return time.Since(t.start) }
+	t := &Tracer{start: time.Now(), meta: map[string]string{}}  //benchlint:allow clock
+	t.now = func() time.Duration { return time.Since(t.start) } //benchlint:allow clock
 	return t
 }
 
 // NewWithClock returns a tracer driven by an explicit monotonic offset
 // function (tests use this for reproducible timestamps).
 func NewWithClock(now func() time.Duration) *Tracer {
-	return &Tracer{start: time.Now(), meta: map[string]string{}, now: now}
+	return &Tracer{start: time.Now(), meta: map[string]string{}, now: now} //benchlint:allow clock
 }
 
 // SetMeta records run-level metadata (producer, benchmark set, seed…)

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -475,4 +476,41 @@ func builtinTable() map[string]minipy.Value {
 	})
 
 	return b
+}
+
+// BuiltinNames returns the sorted names of every global builtin, including
+// non-function values like pi. The static analyzer uses this to resolve
+// LOAD_GLOBAL names that a module never defines itself.
+func BuiltinNames() []string {
+	t := builtinTable()
+	names := make([]string, 0, len(t))
+	for n := range t {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DeterministicBuiltins returns the subset of builtin names whose behaviour
+// is a pure function of their arguments (plus the VM's seeded state): calling
+// them cannot introduce run-to-run nondeterminism. Every current builtin
+// qualifies — print performs IO but its output is argument-determined — so
+// this is presently identical to BuiltinNames. It is a separate entry point
+// because the determinism certificate keys off this list: any future
+// wall-clock or entropy builtin must be excluded here, and the purity audit
+// will then refuse to certify workloads that touch it.
+func DeterministicBuiltins() map[string]bool {
+	out := make(map[string]bool)
+	for _, n := range BuiltinNames() {
+		out[n] = true
+	}
+	return out
+}
+
+// IOBuiltins returns the builtin names that perform observable IO. Workloads
+// using them still certify as deterministic (output is argument-determined)
+// but the certificate records the IO use so report consumers can distinguish
+// compute-pure workloads.
+func IOBuiltins() map[string]bool {
+	return map[string]bool{"print": true}
 }

@@ -18,7 +18,10 @@ func (in *Interp) codeID(code *minipy.Code) uint64 {
 	return id
 }
 
-// runFrame executes one function (or module) activation.
+// runFrame executes one function (or module) activation. It is the
+// interpreter dispatch loop: every simulated instruction passes through
+// here, so it must stay free of allocation-prone stdlib calls.
+// benchlint:hotpath
 func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*minipy.Cell) (minipy.Value, error) {
 	in.depth++
 	if in.depth > in.maxDepth {
@@ -414,7 +417,8 @@ func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*mi
 }
 
 // branchEvent reports a resolved conditional branch to the probe and, when
-// inside a compiled trace, to the JIT guard model.
+// inside a compiled trace, to the JIT guard model. Runs per branch op.
+// benchlint:hotpath
 func (in *Interp) branchEvent(code *minipy.Code, cid uint64, pc int, taken, inTrace bool) {
 	if in.probe != nil {
 		stall := in.probe.OnBranch(cid|uint64(pc), taken)
@@ -431,6 +435,8 @@ func (in *Interp) branchEvent(code *minipy.Code, cid uint64, pc int, taken, inTr
 }
 
 // nameHash spreads global-name accesses over the synthetic globals region.
+// Runs on every global load/store.
+// benchlint:hotpath
 func nameHash(s string) uint64 {
 	var h uint64 = 1469598103934665603
 	for i := 0; i < len(s); i++ {

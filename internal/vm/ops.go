@@ -8,6 +8,8 @@ import (
 )
 
 // binary evaluates a BinOpCode on two operands with Python semantics.
+// Runs on every OpBinary dispatch.
+// benchlint:hotpath
 func (in *Interp) binary(op minipy.BinOpCode, a, b minipy.Value) (minipy.Value, error) {
 	switch op {
 	case minipy.BinEq:
@@ -272,7 +274,8 @@ func (in *Interp) contains(a, b minipy.Value) (minipy.Value, error) {
 	return nil, typeErr("argument of type '%s' is not iterable", b.TypeName())
 }
 
-// unary evaluates a UnOpCode.
+// unary evaluates a UnOpCode. Runs on every OpUnary dispatch.
+// benchlint:hotpath
 func (in *Interp) unary(op minipy.UnOpCode, v minipy.Value) (minipy.Value, error) {
 	switch op {
 	case minipy.UnNot:

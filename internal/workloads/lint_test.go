@@ -1,0 +1,57 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// intentionalFindings pins analyzer findings in shipped workloads that are
+// deliberate. Keyed benchmark → rule → count; any finding not listed here
+// fails the dogfood test, so a workload edit that introduces a new dead
+// store or unreachable block must either fix it or pin it explicitly.
+var intentionalFindings = map[string]map[string]int{}
+
+// TestSuiteLintsClean runs the full static-analysis pipeline over every
+// shipped workload (canonical suite + extended set) and asserts:
+//   - zero error-severity findings (Compile would reject the workload);
+//   - zero warnings and dead stores beyond the pinned intentional set;
+//   - every workload earns a determinism certificate (the purity audit is
+//     what licenses cross-run comparison of its results).
+func TestSuiteLintsClean(t *testing.T) {
+	all := append(append([]Benchmark{}, Suite()...), Extended()...)
+	for _, b := range all {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			rep, err := b.Analyze()
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			pinned := intentionalFindings[b.Name]
+			seen := map[string]int{}
+			for _, d := range rep.Diagnostics {
+				if d.Severity == analysis.Info {
+					continue // unused loop vars are idiomatic in benchmarks
+				}
+				seen[d.Rule]++
+				if seen[d.Rule] > pinned[d.Rule] {
+					t.Errorf("unpinned finding: %s", d)
+				}
+			}
+			for rule, want := range pinned {
+				if seen[rule] != want {
+					t.Errorf("pinned %d %s findings but analyzer reported %d (update intentionalFindings)",
+						want, rule, seen[rule])
+				}
+			}
+			if !rep.Certificate.Certified {
+				t.Errorf("determinism certificate refused: unresolved globals %v",
+					rep.Certificate.UnresolvedGlobals)
+			}
+			sum := rep.Summarize()
+			if sum.TypedInstrPct <= 0 {
+				t.Errorf("type inference produced no typed instructions (%.2f%%)", sum.TypedInstrPct)
+			}
+		})
+	}
+}

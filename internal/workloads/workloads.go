@@ -9,6 +9,7 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/minipy"
 )
 
@@ -37,17 +38,35 @@ type Benchmark struct {
 	Checksum string
 }
 
-// Compile compiles and bytecode-verifies the benchmark source, caching
-// nothing (callers cache).
+// Compile compiles, bytecode-verifies, and statically analyzes the
+// benchmark source, caching nothing (callers cache). Every compile path —
+// CLI, harness, supervised fault-injection recompiles, generated workloads —
+// funnels through here, so a miscompiled or statically-broken program
+// surfaces as a positioned per-benchmark error, never a VM fault at a
+// distance.
 func (b Benchmark) Compile() (*minipy.Code, error) {
 	code, err := minipy.CompileSource(b.Source)
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
 	}
-	if err := minipy.Verify(code); err != nil {
+	if err := analysis.Check(code); err != nil {
 		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
 	}
 	return code, nil
+}
+
+// Analyze compiles the benchmark and runs the full static-analysis report
+// (CFG, definite assignment, type inference, liveness, determinism audit).
+func (b Benchmark) Analyze() (*analysis.Report, error) {
+	code, err := minipy.CompileSource(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
+	}
+	rep, err := analysis.Analyze(code)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
+	}
+	return rep, nil
 }
 
 // ByName returns the benchmark with the given name, searching the

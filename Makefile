@@ -1,7 +1,14 @@
 GO ?= go
 SMOKEDIR ?= .smoke
+GATEDIR ?= .gate
+# Pinned configuration of the committed perf-gate baseline
+# (cmd/benchgate/testdata/baseline.json). Regenerating the baseline and
+# gating a candidate must use the exact same knobs, or the comparison is
+# between different experiments.
+GATE_BENCH = fib
+GATE_FLAGS = -bench $(GATE_BENCH) -invocations 6 -iterations 10 -seed 42 -noise quiet -json
 
-.PHONY: all build test lint verify bench bench-smoke clean
+.PHONY: all build test lint verify bench bench-smoke bench-gate clean
 
 all: build
 
@@ -39,6 +46,26 @@ bench-smoke:
 	grep -q harness_invocations_total $(SMOKEDIR)/smoke.out
 	rm -rf $(SMOKEDIR)
 
+# bench-gate exercises the CI perf-regression gate end to end:
+#   1. a fresh run of the pinned-seed experiment — sequentially and with 4
+#      worker shards — must be bit-identical to the committed baseline
+#      (simulated times are host-independent, so this holds on any machine);
+#   2. benchgate must pass the fresh candidate against the baseline;
+#   3. benchgate must FAIL (non-zero) on the committed 20%-slowdown fixture.
+bench-gate:
+	rm -rf $(GATEDIR) && mkdir -p $(GATEDIR)
+	$(GO) run ./cmd/pybench $(GATE_FLAGS) > $(GATEDIR)/seq.json
+	$(GO) run ./cmd/pybench $(GATE_FLAGS) -workers 4 -parallel-policy force > $(GATEDIR)/par.json
+	$(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
+		-candidate $(GATEDIR)/seq.json -equivalence
+	$(GO) run ./cmd/benchgate -baseline $(GATEDIR)/seq.json \
+		-candidate $(GATEDIR)/par.json -equivalence
+	$(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
+		-candidate $(GATEDIR)/seq.json
+	! $(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
+		-candidate cmd/benchgate/testdata/slow20.json
+	rm -rf $(GATEDIR)
+
 clean:
 	$(GO) clean ./...
-	rm -rf $(SMOKEDIR)
+	rm -rf $(SMOKEDIR) $(GATEDIR)

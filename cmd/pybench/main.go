@@ -78,6 +78,8 @@ func main() {
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to FILE (open in Perfetto)")
 		metricsOn   = flag.Bool("metrics", false, "collect harness self-telemetry and print a snapshot (with -json: included under the metrics key)")
 		collapsed   = flag.String("collapsed", "", "with -profile: also write folded call stacks to FILE (flamegraph.pl / speedscope format)")
+		workers     = flag.Int("workers", 1, "worker shards for -bench/-suite/-exp invocation execution (1 = sequential; the sample set is identical either way)")
+		parPolicy   = flag.String("parallel-policy", "guard", "interference-guard policy for -workers > 1: guard (flag contention), fallback (revert to sequential), force (skip probes)")
 		showVersion = flag.Bool("version", false, "print version, Go version, and platform, then exit")
 	)
 	flag.Usage = usage
@@ -100,21 +102,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	policy, err := harness.ParseParallelPolicy(*parPolicy)
+	if err != nil {
+		fatal(err)
+	}
 	if *resume != "" {
 		if err := os.MkdirAll(*resume, 0o755); err != nil {
 			fatal(fmt.Errorf("creating checkpoint dir: %w", err))
 		}
 	}
 	cfg := core.Config{
-		Seed:          *seed,
-		Invocations:   *invocations,
-		Iterations:    *iterations,
-		Trials:        *trials,
-		Noise:         np,
-		Retries:       *retries,
-		Quorum:        *quorum,
-		Faults:        fp,
-		CheckpointDir: *resume,
+		Seed:           *seed,
+		Invocations:    *invocations,
+		Iterations:     *iterations,
+		Trials:         *trials,
+		Noise:          np,
+		Retries:        *retries,
+		Quorum:         *quorum,
+		Faults:         fp,
+		CheckpointDir:  *resume,
+		Workers:        *workers,
+		ParallelPolicy: policy,
 	}
 
 	style := renderText
@@ -280,6 +288,12 @@ func (o *observability) finish(w *os.File, printMetrics bool) error {
 	return nil
 }
 
+// parallelOptions maps the CLI's parallelism config onto the harness
+// (Workers <= 1 selects the sequential path).
+func parallelOptions(cfg core.Config) harness.ParallelOptions {
+	return harness.ParallelOptions{Workers: cfg.Workers, Policy: cfg.ParallelPolicy}
+}
+
 // supervisorOptions maps the CLI's supervision config onto the harness
 // policy (checkpoint stores are attached per experiment by the callers).
 func supervisorOptions(cfg core.Config) harness.SupervisorOptions {
@@ -312,6 +326,7 @@ func doSuite(cfg core.Config, style renderStyle, o *observability) error {
 	}
 	runner := harness.NewRunner()
 	o.attach(runner, "suite")
+	po := parallelOptions(cfg)
 	var names []string
 	var baselines, treatments []stats.HierarchicalSample
 	var degradedNotes []string
@@ -326,9 +341,9 @@ func doSuite(cfg core.Config, style renderStyle, o *observability) error {
 					Path: filepath.Join(cfg.CheckpointDir, wl.Name+".ckpt.json"),
 				}
 			}
-			interp, jit, err = harness.NewSupervisor(runner, so).RunPair(wl, opts)
+			interp, jit, err = harness.NewSupervisor(runner, so).RunPairParallel(wl, opts, po)
 		} else {
-			interp, jit, err = runner.RunPair(wl, opts)
+			interp, jit, err = runner.RunPairParallel(wl, opts, po)
 		}
 		if err != nil {
 			return err
@@ -340,6 +355,10 @@ func doSuite(cfg core.Config, style renderStyle, o *observability) error {
 			if sv := arm.Supervision; sv != nil && sv.Degraded() {
 				degradedNotes = append(degradedNotes,
 					fmt.Sprintf("%s/%s: %s", wl.Name, arm.Mode, sv.Summary()))
+			}
+			if note := arm.Parallelism.Footnote(); note != "" {
+				degradedNotes = append(degradedNotes,
+					fmt.Sprintf("%s/%s: %s", wl.Name, arm.Mode, note))
 			}
 		}
 	}
@@ -458,13 +477,13 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool, o *observabil
 	// effective N.
 	runner := harness.NewRunner()
 	o.attach(runner, b.Name+"/"+modeName)
-	res, err := harness.NewSupervisor(runner, so).Run(b, harness.Options{
+	res, err := harness.NewSupervisor(runner, so).RunParallel(b, harness.Options{
 		Mode:        mode,
 		Invocations: inv,
 		Iterations:  iter,
 		Seed:        seed,
 		Noise:       np,
-	})
+	}, parallelOptions(cfg))
 	if err != nil {
 		if res != nil && res.Supervision != nil {
 			fmt.Fprintln(os.Stderr, "pybench:", res.Supervision.Summary())
@@ -499,6 +518,9 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool, o *observabil
 	}
 	if sv.Degraded() || sv.InjectedFaults > 0 {
 		t.AddFootnote("%s", sv.Summary())
+	}
+	if note := res.Parallelism.Footnote(); note != "" {
+		t.AddFootnote("%s", note)
 	}
 	if !srep.Clean() {
 		t.AddFootnote("analysis sanitized: %d samples quarantined, %d invocations dropped",

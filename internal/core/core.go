@@ -55,6 +55,14 @@ type Config struct {
 	// CheckpointDir, when set, persists per-experiment progress there so
 	// interrupted runs resume without re-running completed invocations.
 	CheckpointDir string
+
+	// Workers > 1 fans invocations out across that many shards. The sample
+	// set is identical to the sequential run by construction (see
+	// harness.RunParallel); only wall time changes.
+	Workers int
+	// ParallelPolicy governs the interference guard when Workers > 1
+	// (guard/fallback/force; zero value = guard).
+	ParallelPolicy harness.ParallelPolicy
 }
 
 // Supervised reports whether any supervision policy is configured.
@@ -121,10 +129,17 @@ func (e *Engine) run(b workloads.Benchmark, mode vm.Mode, inv, iter int, counter
 		Noise:        e.cfg.Noise,
 		WithCounters: counters,
 	}
+	po := e.parallelOptions()
 	if e.cfg.Supervised() {
-		return e.supervisorFor(b.Name, mode).Run(b, opts)
+		return e.supervisorFor(b.Name, mode).RunParallel(b, opts, po)
 	}
-	return e.runner.Run(b, opts)
+	return e.runner.RunParallel(b, opts, po)
+}
+
+// parallelOptions maps the config's parallelism knobs onto the harness
+// (Workers <= 1 yields options that select the sequential path).
+func (e *Engine) parallelOptions() harness.ParallelOptions {
+	return harness.ParallelOptions{Workers: e.cfg.Workers, Policy: e.cfg.ParallelPolicy}
 }
 
 // supervisorFor builds the configured supervisor for one experiment,

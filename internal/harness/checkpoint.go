@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/vm"
@@ -118,17 +119,31 @@ func (m *MemCheckpoint) Snapshot() []byte { return append([]byte(nil), m.data...
 // Restore overwrites the state with a snapshot.
 func (m *MemCheckpoint) Restore(data []byte) { m.data = append([]byte(nil), data...) }
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk format. Version 2 keys progress by
+// invocation id instead of arrival order: the parallel sharded runner
+// completes invocations out of order, so "resume at index N" stopped being
+// a meaningful notion of progress — a checkpoint now records the exact set
+// of completed invocation slots, whatever order they finished in.
+const checkpointVersion = 2
+
+// slotRecord is the complete supervised outcome of one invocation slot:
+// its attempt log, its measurement (nil when every attempt failed), and the
+// corrupted-sample count its failed attempts quarantined. It is both the
+// unit the supervisor aggregates into a Result and the unit a checkpoint
+// persists.
+type slotRecord struct {
+	Index       int
+	Log         InvocationLog
+	Invocation  *Invocation `json:",omitempty"`
+	Quarantined int         `json:",omitempty"`
+}
 
 // checkpointState is the serialized supervisor progress: the experiment's
-// identity key, the partial Result (successful invocations plus the full
-// supervision log), and the next invocation index to run.
+// identity key and every completed invocation slot, sorted by index.
 type checkpointState struct {
-	Version        int
-	Key            string
-	NextInvocation int
-	Result         *Result
+	Version int
+	Key     string
+	Slots   []slotRecord
 }
 
 // checkpointKey derives the experiment identity a checkpoint belongs to.
@@ -143,38 +158,45 @@ func checkpointKey(b workloads.Benchmark, opts Options, so SupervisorOptions, fa
 		so.Faults, faultSeed, so.MaxRetries, so.Quorum)
 }
 
-// loadCheckpoint restores saved progress. Returns (nil, 0, nil) when no
-// checkpoint exists; errors when one exists but belongs to a different
-// experiment configuration or cannot be decoded.
-func loadCheckpoint(store CheckpointStore, key string) (*Result, int, error) {
+// loadCheckpoint restores saved progress as a map keyed by invocation id.
+// Returns (nil, nil) when no checkpoint exists; errors when one exists but
+// belongs to a different experiment configuration or cannot be decoded.
+func loadCheckpoint(store CheckpointStore, key string) (map[int]slotRecord, error) {
 	data, err := store.Load()
 	if err != nil {
-		return nil, 0, fmt.Errorf("loading checkpoint: %w", err)
+		return nil, fmt.Errorf("loading checkpoint: %w", err)
 	}
 	if data == nil {
-		return nil, 0, nil
+		return nil, nil
 	}
 	var st checkpointState
 	if err := json.Unmarshal(data, &st); err != nil {
-		return nil, 0, fmt.Errorf("decoding checkpoint: %w", err)
+		return nil, fmt.Errorf("decoding checkpoint: %w", err)
 	}
 	if st.Key != key {
-		return nil, 0, fmt.Errorf("checkpoint belongs to a different experiment (saved %q, running %q); delete it or rerun with the original configuration",
+		return nil, fmt.Errorf("checkpoint belongs to a different experiment (saved %q, running %q); delete it or rerun with the original configuration",
 			st.Key, key)
 	}
-	if st.Result == nil || st.Result.Supervision == nil {
-		return nil, 0, fmt.Errorf("checkpoint has no supervised result state")
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint format v%d is not the supported v%d; delete it and rerun",
+			st.Version, checkpointVersion)
 	}
-	return st.Result, st.NextInvocation, nil
+	slots := make(map[int]slotRecord, len(st.Slots))
+	for _, s := range st.Slots {
+		slots[s.Index] = s
+	}
+	return slots, nil
 }
 
-// saveCheckpoint persists progress after one completed invocation slot.
-func saveCheckpoint(store CheckpointStore, key string, res *Result, next int) error {
+// saveCheckpoint persists every completed slot, sorted by invocation id so
+// the stored state is independent of completion order.
+func saveCheckpoint(store CheckpointStore, key string, slots []slotRecord) error {
+	sorted := append([]slotRecord(nil), slots...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
 	data, err := json.Marshal(checkpointState{
-		Version:        checkpointVersion,
-		Key:            key,
-		NextInvocation: next,
-		Result:         res,
+		Version: checkpointVersion,
+		Key:     key,
+		Slots:   sorted,
 	})
 	if err != nil {
 		return err

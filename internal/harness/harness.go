@@ -7,7 +7,6 @@ package harness
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -106,6 +105,12 @@ type Result struct {
 	// result so an archived report carries the evidence that its workload
 	// was deterministic and well-formed.
 	Analysis *analysis.Summary `json:"analysis,omitempty"`
+	// Parallelism records the sharded-execution provenance when the
+	// experiment ran under the parallel runner: worker count, policy, the
+	// per-shard interference-guard probes and their dispersion, and whether
+	// the run fell back to sequential mode. Nil for sequential runs, whose
+	// sample set the parallel runner reproduces bit-identically.
+	Parallelism *Parallelism `json:"parallelism,omitempty"`
 }
 
 // Hierarchical converts the measured times into the two-level sample shape
@@ -141,51 +146,36 @@ func (r *Result) CyclesMatrix() [][]uint64 {
 	return out
 }
 
-// Runner executes experiments. Compiled workloads are cached, so repeated
-// experiments on the same benchmark skip the front end. The cache is
-// mutex-guarded so supervised runs can fan invocations out across
-// goroutines without racing the front end.
+// Runner executes experiments. Compiled workloads are cached in a
+// concurrency-safe workloads.CodeCache, so repeated experiments on the same
+// benchmark skip the front end and parallel shards can share one cache
+// handle without racing the front end or the inventory listing.
 type Runner struct {
-	mu        sync.Mutex
-	codeCache map[string]compiledEntry
+	cache *workloads.CodeCache
 	// obs holds the optional observability sinks (see observe.go). The
 	// zero value is free: disabled sinks cost one nil check each.
 	obs Observer
 }
 
-// compiledEntry pairs a workload's verified bytecode with its static-
-// analysis digest, both computed once and cached together.
-type compiledEntry struct {
-	code    *minipy.Code
-	summary *analysis.Summary
-}
-
 // NewRunner returns an empty runner.
 func NewRunner() *Runner {
-	return &Runner{codeCache: map[string]compiledEntry{}}
+	return &Runner{cache: workloads.NewCodeCache()}
 }
 
+// Cache exposes the runner's compiled-code cache (shards and tests share it).
+func (r *Runner) Cache() *workloads.CodeCache { return r.cache }
+
 func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, *analysis.Summary, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if e, ok := r.codeCache[b.Name]; ok {
-		r.obs.Metrics.Counter(mCacheHits, "compiled-code cache hits").Inc()
-		return e.code, e.summary, nil
-	}
-	r.obs.Metrics.Counter(mCacheMisses, "compiled-code cache misses (front-end runs)").Inc()
-	c, err := b.Compile()
+	e, hit, err := r.cache.Get(b)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Compile already ran analysis.Check (error-free guarantee); rerunning
-	// the passes here yields the full summary for report plumbing.
-	rep, err := analysis.Analyze(c)
-	if err != nil {
-		return nil, nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	if hit {
+		r.obs.Metrics.Counter(mCacheHits, "compiled-code cache hits").Inc()
+	} else {
+		r.obs.Metrics.Counter(mCacheMisses, "compiled-code cache misses (front-end runs)").Inc()
 	}
-	e := compiledEntry{code: c, summary: rep.Summarize()}
-	r.codeCache[b.Name] = e
-	return e.code, e.summary, nil
+	return e.Code, e.Analysis, nil
 }
 
 // Run executes the full experiment for one benchmark.
@@ -225,14 +215,16 @@ func validateChecksum(b workloads.Benchmark, inv *Invocation) error {
 // runInvocation simulates one fresh VM process: module import (setup), then
 // opts.Iterations timed calls of run(). Checksum validation against the
 // benchmark's expectation is the caller's job (the supervisor corrupts the
-// checksum first when injecting that fault).
+// checksum first when injecting that fault). spanKV carries extra span
+// arguments — the parallel runner labels every invocation span with the
+// worker shard that executed it.
 func (r *Runner) runInvocation(code *minipy.Code,
-	opts Options, invIdx int) (*Invocation, error) {
+	opts Options, invIdx int, spanKV ...string) (*Invocation, error) {
 	tr := r.obs.Trace
 	var invSpan trace.Span
 	if tr != nil {
-		invSpan = tr.Begin(trace.CatInvocation, fmt.Sprintf("invocation %d", invIdx),
-			"index", fmt.Sprint(invIdx))
+		kv := append([]string{"index", fmt.Sprint(invIdx)}, spanKV...)
+		invSpan = tr.Begin(trace.CatInvocation, fmt.Sprintf("invocation %d", invIdx), kv...)
 	}
 	defer invSpan.End() // deferred so panicking attempts still close the span
 	gc := metrics.StartGCSample(r.obs.Metrics)

@@ -38,6 +38,13 @@ const (
 	mQuarantined     = "harness_samples_quarantined_total"
 	mCheckpointSaves = "harness_checkpoint_saves_total"
 	mResumes         = "harness_checkpoint_resumes_total"
+
+	// Parallel sharded-runner telemetry.
+	mParallelRuns      = "harness_parallel_runs_total"
+	mWorkers           = "harness_parallel_workers"
+	mQueueDepth        = "harness_parallel_queue_depth"
+	mWorkerUtilization = "harness_parallel_worker_utilization"
+	mGuardTrips        = "harness_interference_guard_trips_total"
 )
 
 // SetObserver attaches the observability sinks. Call it before Run; the

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/faults"
 	"repro/internal/minipy"
 	"repro/internal/trace"
@@ -179,13 +181,25 @@ const hangBudgetSteps = 1
 
 // Run executes the experiment under supervision.
 func (s *Supervisor) Run(b workloads.Benchmark, opts Options) (*Result, error) {
-	return s.runWith(b, opts, s.opts.Checkpoint)
+	return s.runWith(b, opts, s.opts.Checkpoint, ParallelOptions{})
 }
 
-// runWith is Run with an explicit checkpoint store (RunPair gives each arm
-// its own derived store).
-func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt CheckpointStore) (*Result, error) {
+// RunParallel executes the experiment under supervision across po.Workers
+// shards. Fault isolation, budgets, retry, and quarantine apply per shard
+// exactly as they do sequentially; the sample set, attempt log, and
+// supervision accounting are identical to the sequential supervised run
+// because every slot's fate is a pure function of (seed, invocation id,
+// attempt) and slots are merged in canonical order.
+func (s *Supervisor) RunParallel(b workloads.Benchmark, opts Options, po ParallelOptions) (*Result, error) {
+	return s.runWith(b, opts, s.opts.Checkpoint, po)
+}
+
+// runWith is the shared engine behind Run/RunParallel, with an explicit
+// checkpoint store (RunPair gives each arm its own derived store).
+func (s *Supervisor) runWith(b workloads.Benchmark, opts Options,
+	ckpt CheckpointStore, po ParallelOptions) (*Result, error) {
 	opts = opts.withDefaults()
+	po = po.withDefaults()
 	code, summary, err := s.r.compiled(b)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
@@ -204,65 +218,111 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 		quorum = opts.Invocations
 	}
 
-	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts, Analysis: summary}
-	res.Supervision = &Supervision{
-		Planned:    opts.Invocations,
-		Quorum:     quorum,
-		MaxRetries: s.opts.MaxRetries,
-		Faults:     s.opts.Faults,
-		FaultSeed:  faultSeed,
+	var par *Parallelism
+	parallel := po.Workers > 1
+	if parallel {
+		var sequential bool
+		par, sequential = s.r.runGuard(po)
+		parallel = !sequential
 	}
+
 	obs := s.r.obs
-	benchSpan := obs.Trace.Begin(trace.CatBenchmark, b.Name+"/"+opts.Mode.String(),
-		"benchmark", b.Name, "mode", opts.Mode.String(), "supervised", "true")
+	spanKV := []string{"benchmark", b.Name, "mode", opts.Mode.String(), "supervised", "true"}
+	if parallel {
+		spanKV = append(spanKV, "workers", strconv.Itoa(po.Workers))
+	}
+	benchSpan := obs.Trace.Begin(trace.CatBenchmark, b.Name+"/"+opts.Mode.String(), spanKV...)
 	defer benchSpan.End()
 
+	// The checkpoint key deliberately excludes the worker count and guard
+	// policy: parallel and sequential runs of one experiment draw the same
+	// samples, so either may resume the other's checkpoint.
 	key := checkpointKey(b, opts, s.opts, faultSeed)
-	start := 0
+	slots := make([]*slotRecord, opts.Invocations)
+	resumed := 0
 	if ckpt != nil {
-		restored, next, err := loadCheckpoint(ckpt, key)
+		restored, err := loadCheckpoint(ckpt, key)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 		}
-		if restored != nil {
-			res = restored
-			start = next
-			res.Supervision.ResumedFrom = start
-			// A checkpoint written by an older build may predate the
-			// analysis digest; always attach the freshly computed one.
-			res.Analysis = summary
+		for idx, slot := range restored {
+			if idx < 0 || idx >= opts.Invocations {
+				continue
+			}
+			slot := slot
+			slots[idx] = &slot
+			resumed++
+		}
+		if resumed > 0 {
 			obs.Trace.Instant(trace.CatSupervisor, "checkpoint-resume",
-				"benchmark", b.Name, "invocation", strconv.Itoa(start))
+				"benchmark", b.Name, "completed", strconv.Itoa(resumed))
 			obs.Metrics.Counter(mResumes, "experiments resumed from a checkpoint").Inc()
 		}
 	}
-	sup := res.Supervision
 
-	for i := start; i < opts.Invocations; i++ {
-		lg := s.superviseInvocation(b, code, opts, i, inj, res)
-		sup.Log = append(sup.Log, lg)
-		switch lg.Status {
-		case StatusClean:
-			sup.Clean++
-		case StatusRecovered:
-			sup.Recovered++
-		case StatusDropped:
-			sup.Dropped++
-			obs.Trace.Instant(trace.CatSupervisor, "invocation-dropped",
-				"benchmark", b.Name, "invocation", strconv.Itoa(i))
-			obs.Metrics.Counter(mDropped, "invocations dropped after exhausting retries").Inc()
-		}
-		if ckpt != nil {
-			if err := saveCheckpoint(ckpt, key, res, i+1); err != nil {
-				return nil, fmt.Errorf("harness: %s: checkpointing: %w", b.Name, err)
-			}
-			obs.Trace.Instant(trace.CatSupervisor, "checkpoint-save",
-				"invocation", strconv.Itoa(i))
-			obs.Metrics.Counter(mCheckpointSaves, "checkpoint snapshots written").Inc()
+	var pending []int
+	for i := 0; i < opts.Invocations; i++ {
+		if slots[i] == nil {
+			pending = append(pending, i)
 		}
 	}
+
+	// completeSlot records one freshly-run slot and checkpoints the new
+	// completed set. ckptMu guards the slots table against concurrent
+	// shards: each checkpoint snapshot reads every completed slot, so the
+	// per-index writes must synchronize with it.
+	var ckptMu sync.Mutex
+	var ckptErr error
+	completeSlot := func(idx int, slot slotRecord) {
+		if slot.Log.Status == StatusDropped {
+			obs.Trace.Instant(trace.CatSupervisor, "invocation-dropped",
+				"benchmark", b.Name, "invocation", strconv.Itoa(idx))
+			obs.Metrics.Counter(mDropped, "invocations dropped after exhausting retries").Inc()
+		}
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		slots[idx] = &slot
+		if ckpt == nil {
+			return
+		}
+		done := make([]slotRecord, 0, opts.Invocations)
+		for _, sl := range slots {
+			if sl != nil {
+				done = append(done, *sl)
+			}
+		}
+		if err := saveCheckpoint(ckpt, key, done); err != nil {
+			if ckptErr == nil {
+				ckptErr = err
+			}
+			return
+		}
+		obs.Trace.Instant(trace.CatSupervisor, "checkpoint-save",
+			"invocation", strconv.Itoa(idx))
+		obs.Metrics.Counter(mCheckpointSaves, "checkpoint snapshots written").Inc()
+	}
+
+	if parallel {
+		obs.Metrics.Counter(mParallelRuns, "experiments executed by the sharded runner").Inc()
+		s.r.shardPool(len(pending), po.Workers, func(shard, j int) {
+			idx := pending[j]
+			completeSlot(idx, s.superviseOne(b, code, opts, idx, inj,
+				"worker", strconv.Itoa(shard)))
+		})
+	} else {
+		for _, idx := range pending {
+			completeSlot(idx, s.superviseOne(b, code, opts, idx, inj))
+		}
+	}
+	if ckptErr != nil {
+		return nil, fmt.Errorf("harness: %s: checkpointing: %w", b.Name, ckptErr)
+	}
+
+	res := assembleSupervised(b, opts, summary, s.opts, faultSeed, quorum, slots, resumed)
+	res.Parallelism = par
 	s.r.snapshotMetrics(res)
 
+	sup := res.Supervision
 	if sup.EffectiveN() < quorum {
 		// The partial result is returned alongside the error so callers
 		// can still report *how* the experiment degraded.
@@ -273,19 +333,62 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options, ckpt Checkpoin
 	return res, nil
 }
 
-// superviseInvocation drives one invocation slot through its retry budget
-// and returns its log. Successful attempts append their measurement to
-// res.Invocations and tally the supervision counters on res.
-func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Code,
-	opts Options, invIdx int, inj *faults.Injector, res *Result) InvocationLog {
+// assembleSupervised merges completed slots in canonical invocation order
+// into a Result and derives the supervision accounting from the per-slot
+// records — the merge step that makes completion order unobservable.
+func assembleSupervised(b workloads.Benchmark, opts Options, summary *analysis.Summary,
+	so SupervisorOptions, faultSeed uint64, quorum int, slots []*slotRecord, resumed int) *Result {
+	res := &Result{Benchmark: b.Name, Mode: opts.Mode, Opts: opts, Analysis: summary}
+	sup := &Supervision{
+		Planned:     opts.Invocations,
+		Quorum:      quorum,
+		MaxRetries:  so.MaxRetries,
+		Faults:      so.Faults,
+		FaultSeed:   faultSeed,
+		ResumedFrom: resumed,
+	}
+	res.Supervision = sup
+	for _, slot := range slots {
+		if slot == nil {
+			continue
+		}
+		sup.Log = append(sup.Log, slot.Log)
+		switch slot.Log.Status {
+		case StatusClean:
+			sup.Clean++
+		case StatusRecovered:
+			sup.Recovered++
+		case StatusDropped:
+			sup.Dropped++
+		}
+		sup.Attempts += len(slot.Log.Attempts)
+		if n := len(slot.Log.Attempts); n > 1 {
+			sup.Retries += n - 1
+		}
+		for _, at := range slot.Log.Attempts {
+			if at.Fault != "" {
+				sup.InjectedFaults++
+			}
+		}
+		sup.QuarantinedSamples += slot.Quarantined
+		if slot.Invocation != nil {
+			res.Invocations = append(res.Invocations, *slot.Invocation)
+		}
+	}
+	return res
+}
+
+// superviseOne drives one invocation slot through its retry budget and
+// returns its complete record. It mutates no shared experiment state, so
+// shards run it concurrently; all side effects go through the
+// concurrency-safe observability sinks.
+func (s *Supervisor) superviseOne(b workloads.Benchmark, code *minipy.Code,
+	opts Options, invIdx int, inj *faults.Injector, spanKV ...string) slotRecord {
 	obs := s.r.obs
-	sup := res.Supervision
-	lg := InvocationLog{Index: invIdx, Status: StatusDropped}
+	slot := slotRecord{Index: invIdx, Log: InvocationLog{Index: invIdx, Status: StatusDropped}}
 	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
 		fault := inj.Draw(invIdx, attempt, opts.Iterations)
-		sup.Attempts++
 		if attempt > 0 {
-			sup.Retries++
 			obs.Trace.Instant(trace.CatSupervisor, "retry",
 				"benchmark", b.Name, "invocation", strconv.Itoa(invIdx),
 				"attempt", strconv.Itoa(attempt))
@@ -293,18 +396,17 @@ func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Cod
 		}
 		rec := AttemptRecord{Attempt: attempt}
 		if fault.Kind != faults.None {
-			sup.InjectedFaults++
 			rec.Fault = fault.Kind.String()
 			obs.Trace.Instant(trace.CatSupervisor, "fault-injected",
 				"kind", fault.Kind.String(), "invocation", strconv.Itoa(invIdx),
 				"attempt", strconv.Itoa(attempt))
 			obs.Metrics.Counter(mFaultsInjected, "faults injected into attempts").Inc()
 		}
-		inv, err := s.attempt(code, opts, invIdx, attempt, fault)
+		inv, err := s.attempt(code, opts, invIdx, attempt, fault, spanKV...)
 		if err == nil {
 			var quarantined int
 			quarantined, err = validateSamples(inv)
-			sup.QuarantinedSamples += quarantined
+			slot.Quarantined += quarantined
 			obs.Metrics.Counter(mQuarantined, "corrupted samples quarantined").
 				Add(uint64(quarantined))
 		}
@@ -312,14 +414,14 @@ func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Cod
 			err = validateChecksum(b, inv)
 		}
 		if err == nil {
-			lg.Attempts = append(lg.Attempts, rec)
+			slot.Log.Attempts = append(slot.Log.Attempts, rec)
 			if attempt == 0 {
-				lg.Status = StatusClean
+				slot.Log.Status = StatusClean
 			} else {
-				lg.Status = StatusRecovered
+				slot.Log.Status = StatusRecovered
 			}
-			res.Invocations = append(res.Invocations, *inv)
-			return lg
+			slot.Invocation = inv
+			return slot
 		}
 		rec.Error = err.Error()
 		obs.Trace.Instant(trace.CatSupervisor, "attempt-failed",
@@ -332,16 +434,16 @@ func (s *Supervisor) superviseInvocation(b workloads.Benchmark, code *minipy.Cod
 				time.Sleep(backoff)
 			}
 		}
-		lg.Attempts = append(lg.Attempts, rec)
+		slot.Log.Attempts = append(slot.Log.Attempts, rec)
 	}
-	return lg
+	return slot
 }
 
 // attempt runs a single isolated invocation attempt. Panics — injected or
 // genuine engine bugs — are recovered and converted into ordinary attempt
 // failures, so one bad invocation can never take the campaign down.
 func (s *Supervisor) attempt(code *minipy.Code, opts Options, invIdx, attempt int,
-	fault faults.Fault) (inv *Invocation, err error) {
+	fault faults.Fault, spanKV ...string) (inv *Invocation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			inv, err = nil, fmt.Errorf("invocation panicked: %v", r)
@@ -362,9 +464,9 @@ func (s *Supervisor) attempt(code *minipy.Code, opts Options, invIdx, attempt in
 		// must fire, simulating a hung invocation being reaped.
 		o := opts
 		o.MaxStepsPerInvocation = hangBudgetSteps
-		return s.r.runInvocation(code, o, noiseIdx)
+		return s.r.runInvocation(code, o, noiseIdx, spanKV...)
 	}
-	inv, err = s.r.runInvocation(code, opts, noiseIdx)
+	inv, err = s.r.runInvocation(code, opts, noiseIdx, spanKV...)
 	if err != nil {
 		return nil, err
 	}
@@ -400,16 +502,23 @@ func validateSamples(inv *Invocation) (quarantined int, err error) {
 // cross-engine checksum agreement is validated on the surviving
 // invocations.
 func (s *Supervisor) RunPair(b workloads.Benchmark, opts Options) (interp, jit *Result, err error) {
+	return s.RunPairParallel(b, opts, ParallelOptions{})
+}
+
+// RunPairParallel is RunPair with each arm executed by the sharded runner
+// (arms still run one after the other — the comparison design wants the
+// arms' samples, not the arms themselves, interleaved).
+func (s *Supervisor) RunPairParallel(b workloads.Benchmark, opts Options, po ParallelOptions) (interp, jit *Result, err error) {
 	base := s.opts.Checkpoint
 	oi := opts
 	oi.Mode = vm.ModeInterp
-	interp, err = s.runWith(b, oi, deriveCheckpoint(base, "interp"))
+	interp, err = s.runWith(b, oi, deriveCheckpoint(base, "interp"), po)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: %s [interp arm]: %w", b.Name, err)
 	}
 	oj := opts
 	oj.Mode = vm.ModeJIT
-	jit, err = s.runWith(b, oj, deriveCheckpoint(base, "jit"))
+	jit, err = s.runWith(b, oj, deriveCheckpoint(base, "jit"), po)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: %s [jit arm]: %w", b.Name, err)
 	}

@@ -1,0 +1,88 @@
+package stats
+
+import "math"
+
+// Perf-regression gate: the statistical decision rule behind cmd/benchgate
+// and the CI perf-gate job. A candidate is declared a regression only when
+// the hierarchical-bootstrap CI on the candidate/baseline runtime ratio
+// sits entirely above 1 AND the point estimate clears a minimum practical
+// effect size — both conditions together keep the gate from flagging
+// statistically-detectable-but-irrelevant jitter (the paper's small-effect
+// caveat) while still being sound at the requested confidence.
+
+// Default gate thresholds.
+const (
+	DefaultGateConfidence = 0.99
+	DefaultGateMinEffect  = 0.02
+)
+
+// GateThresholds configures the regression decision.
+type GateThresholds struct {
+	// Confidence is the two-sided CI level the decision is made at.
+	Confidence float64
+	// MinEffect is the minimum relative slowdown (0.02 = 2%) the point
+	// estimate must exceed before a statistically significant shift is
+	// treated as a regression.
+	MinEffect float64
+	// Resamples is the bootstrap resample count (0 = library default).
+	Resamples int
+}
+
+func (t GateThresholds) withDefaults() GateThresholds {
+	if t.Confidence <= 0 || t.Confidence >= 1 {
+		t.Confidence = DefaultGateConfidence
+	}
+	switch {
+	case t.MinEffect == 0:
+		t.MinEffect = DefaultGateMinEffect
+	case t.MinEffect < 0:
+		// Negative = explicit "no practical floor": pure significance test.
+		t.MinEffect = 0
+	}
+	return t
+}
+
+// GateVerdict is the gate's full decision record: everything a CI log needs
+// to explain why a build was failed or passed.
+type GateVerdict struct {
+	// Ratio is the point estimate mean(candidate)/mean(baseline) of
+	// per-invocation means; > 1 means the candidate is slower.
+	Ratio float64
+	// CI is the hierarchical-bootstrap interval on that ratio.
+	CI Interval
+	// EffectD is Cohen's d between the two sets of invocation means.
+	EffectD float64
+	// MinEffect echoes the practical-significance threshold applied.
+	MinEffect float64
+	// Slowdown is true when the CI excludes 1 from above and the point
+	// estimate exceeds 1+MinEffect: a statistically sound regression.
+	Slowdown bool
+	// Speedup is true when the CI excludes 1 from below and the point
+	// estimate is under 1-MinEffect: a statistically sound improvement.
+	Speedup bool
+}
+
+// Significant reports whether the CI excludes a ratio of 1 at all.
+func (v GateVerdict) Significant() bool {
+	return !math.IsNaN(v.CI.Lo) && (v.CI.Lo > 1 || v.CI.Hi < 1)
+}
+
+// PerfGate decides whether candidate regressed relative to baseline using
+// the hierarchical bootstrap on the candidate/baseline ratio. Both inputs
+// are two-level (invocation × iteration) samples; callers should Sanitize
+// them first.
+func PerfGate(baseline, candidate HierarchicalSample, th GateThresholds, rng *RNG) GateVerdict {
+	th = th.withDefaults()
+	v := GateVerdict{MinEffect: th.MinEffect}
+	bMeans := baseline.InvocationMeans()
+	cMeans := candidate.InvocationMeans()
+	v.Ratio = Mean(cMeans) / Mean(bMeans)
+	v.EffectD = CohensD(cMeans, bMeans)
+	v.CI = BootstrapHierarchicalRatioCI(candidate, baseline, th.Confidence, th.Resamples, rng)
+	if math.IsNaN(v.CI.Lo) || math.IsNaN(v.Ratio) {
+		return v
+	}
+	v.Slowdown = v.CI.Lo > 1 && v.Ratio >= 1+th.MinEffect
+	v.Speedup = v.CI.Hi < 1 && v.Ratio <= 1-th.MinEffect
+	return v
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// gateSample builds an n×m two-level sample around mu with mild two-level
+// noise, the shape PerfGate consumes.
+func gateSample(rng *RNG, n, m int, mu float64) HierarchicalSample {
+	return synthTwoLevel(rng, n, m, mu, 0.01*mu, 0.005*mu)
+}
+
+func TestPerfGateIdenticalSamplesPass(t *testing.T) {
+	rng := NewRNG(7)
+	s := gateSample(rng, 20, 10, 1.0)
+	v := PerfGate(s, s, GateThresholds{}, NewRNG(11))
+	if v.Slowdown || v.Speedup {
+		t.Fatalf("identical samples flagged: %+v", v)
+	}
+	if math.Abs(v.Ratio-1) > 1e-12 {
+		t.Fatalf("ratio of identical samples = %v, want 1", v.Ratio)
+	}
+}
+
+func TestPerfGateDetectsLargeSlowdown(t *testing.T) {
+	rng := NewRNG(7)
+	base := gateSample(rng, 20, 10, 1.0)
+	cand := gateSample(rng, 20, 10, 1.2)
+	v := PerfGate(base, cand, GateThresholds{}, NewRNG(11))
+	if !v.Slowdown {
+		t.Fatalf("20%% slowdown not flagged: %+v", v)
+	}
+	if v.Speedup {
+		t.Fatalf("slowdown also flagged as speedup: %+v", v)
+	}
+	if v.CI.Lo <= 1 {
+		t.Fatalf("CI should exclude 1 from above, got [%v, %v]", v.CI.Lo, v.CI.Hi)
+	}
+}
+
+func TestPerfGateDetectsSpeedup(t *testing.T) {
+	rng := NewRNG(7)
+	base := gateSample(rng, 20, 10, 1.0)
+	cand := gateSample(rng, 20, 10, 0.8)
+	v := PerfGate(base, cand, GateThresholds{}, NewRNG(11))
+	if !v.Speedup || v.Slowdown {
+		t.Fatalf("20%% speedup misclassified: %+v", v)
+	}
+}
+
+func TestPerfGateMinEffectSuppressesTinyShift(t *testing.T) {
+	// A 1% shift with large N is statistically detectable but below the
+	// default 2% practical-effect floor; the gate must not flag it.
+	rng := NewRNG(7)
+	base := synthTwoLevel(rng, 60, 20, 1.0, 0.001, 0.001)
+	cand := synthTwoLevel(rng, 60, 20, 1.01, 0.001, 0.001)
+	v := PerfGate(base, cand, GateThresholds{}, NewRNG(11))
+	if !v.Significant() {
+		t.Fatalf("expected the 1%% shift to be statistically significant: %+v", v)
+	}
+	if v.Slowdown {
+		t.Fatalf("sub-MinEffect shift flagged as regression: %+v", v)
+	}
+	// Lowering the floor flips the decision.
+	v = PerfGate(base, cand, GateThresholds{MinEffect: 0.005}, NewRNG(11))
+	if !v.Slowdown {
+		t.Fatalf("shift above lowered MinEffect not flagged: %+v", v)
+	}
+}
+
+func TestPerfGateEmptyInputs(t *testing.T) {
+	v := PerfGate(HierarchicalSample{}, HierarchicalSample{}, GateThresholds{}, NewRNG(1))
+	if v.Slowdown || v.Speedup || v.Significant() {
+		t.Fatalf("empty inputs must be inconclusive: %+v", v)
+	}
+}
+
+func TestPerfGateDeterministic(t *testing.T) {
+	rng := NewRNG(7)
+	base := gateSample(rng, 10, 5, 1.0)
+	cand := gateSample(rng, 10, 5, 1.1)
+	a := PerfGate(base, cand, GateThresholds{}, NewRNG(99))
+	b := PerfGate(base, cand, GateThresholds{}, NewRNG(99))
+	if a != b {
+		t.Fatalf("same seed produced different verdicts:\n%+v\n%+v", a, b)
+	}
+}

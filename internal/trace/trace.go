@@ -24,6 +24,9 @@ const (
 	CatIteration  = "iteration"
 	CatPhase      = "phase"
 	CatSupervisor = "supervisor"
+	// CatWorker spans cover one shard's lifetime in a parallel run; their
+	// invocation child spans carry the shard id in a "worker" argument.
+	CatWorker = "worker"
 )
 
 // Event is one recorded trace event. TS and Dur are offsets from the

@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/minipy"
+)
+
+// Compiled pairs a workload's verified bytecode with its static-analysis
+// digest, both computed once per benchmark and cached together.
+type Compiled struct {
+	Code     *minipy.Code
+	Analysis *analysis.Summary
+}
+
+// CodeCache is a concurrency-safe compile-once cache. The parallel harness
+// hands one cache to every worker shard: reads take a shared lock, the
+// first compile of a benchmark takes the exclusive lock, and the inventory
+// listing is served under the same lock discipline — iterating the map
+// without it is a data race the moment shards run concurrently.
+type CodeCache struct {
+	mu      sync.RWMutex
+	entries map[string]Compiled
+}
+
+// NewCodeCache returns an empty cache.
+func NewCodeCache() *CodeCache {
+	return &CodeCache{entries: map[string]Compiled{}}
+}
+
+// Get returns the compiled entry for b, compiling and analyzing it on first
+// use. hit reports whether the entry was already cached. Concurrent callers
+// of the same uncompiled benchmark serialize on the first compile; callers
+// of cached benchmarks only share a read lock.
+func (c *CodeCache) Get(b Benchmark) (entry Compiled, hit bool, err error) {
+	c.mu.RLock()
+	entry, hit = c.entries[b.Name]
+	c.mu.RUnlock()
+	if hit {
+		return entry, true, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if entry, hit = c.entries[b.Name]; hit {
+		return entry, true, nil
+	}
+	code, err := b.Compile()
+	if err != nil {
+		return Compiled{}, false, err
+	}
+	// Compile already ran analysis.Check (error-free guarantee); rerunning
+	// the passes yields the full summary for report plumbing.
+	rep, err := analysis.Analyze(code)
+	if err != nil {
+		return Compiled{}, false, fmt.Errorf("workload %s: %w", b.Name, err)
+	}
+	entry = Compiled{Code: code, Analysis: rep.Summarize()}
+	c.entries[b.Name] = entry
+	return entry, false, nil
+}
+
+// Inventory returns the names of every cached benchmark, sorted. The copy
+// is taken under the read lock, so listing is safe while shards compile.
+func (c *CodeCache) Inventory() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.entries))
+	for name := range c.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of cached benchmarks.
+func (c *CodeCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -8,7 +8,13 @@ GATEDIR ?= .gate
 GATE_BENCH = fib
 GATE_FLAGS = -bench $(GATE_BENCH) -invocations 6 -iterations 10 -seed 42 -noise quiet -json
 
-.PHONY: all build test lint verify bench bench-smoke bench-gate clean
+.PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline clean
+
+# Pinned configuration of the wall-clock VM microbenchmarks. BENCH_vm.json
+# is the committed pre-optimization baseline; bench-go compares a fresh run
+# against it (informational: ns/op is host-dependent).
+BENCHGO_PKGS = ./internal/vm
+BENCHGO_FLAGS = -run '^$$' -bench . -benchmem -benchtime 1s -count 3
 
 all: build
 
@@ -33,6 +39,18 @@ verify: lint
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-go runs the wall-clock interpreter microkernels (dispatch, call,
+# attribute, global-lookup, iteration, probe-entry) and prints per-benchmark
+# ns/op deltas vs. the committed BENCH_vm.json baseline.
+bench-go:
+	$(GO) test $(BENCHGO_PKGS) $(BENCHGO_FLAGS) | $(GO) run ./cmd/benchjson -baseline BENCH_vm.json
+
+# bench-go-baseline regenerates BENCH_vm.json from the current tree. Only
+# run this deliberately: the committed file is the pre-optimization anchor
+# that future PRs measure against.
+bench-go-baseline:
+	$(GO) test $(BENCHGO_PKGS) $(BENCHGO_FLAGS) | $(GO) run ./cmd/benchjson -out BENCH_vm.json
 
 # bench-smoke runs one tiny supervised benchmark end to end with tracing and
 # metrics on, then validates that the emitted Chrome trace JSON parses.

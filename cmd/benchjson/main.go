@@ -1,0 +1,238 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// stable JSON document, and optionally compares it against a committed
+// baseline (BENCH_vm.json) so the repo accumulates a real wall-clock perf
+// trajectory alongside the simulated results.
+//
+// Usage:
+//
+//	go test ./internal/vm -bench . -benchmem | benchjson -out BENCH_vm.json
+//	go test ./internal/vm -bench . -benchmem | benchjson -baseline BENCH_vm.json
+//	go test ... | benchjson -baseline BENCH_vm.json -require BenchmarkDispatchArith:25
+//
+// Comparison prints per-benchmark ns/op deltas. Wall-clock numbers are
+// host-dependent, so the compare mode is informational by default; -require
+// NAME:PCT entries turn specific improvements into hard gates (exit 1 when
+// the named benchmark improved by less than PCT percent vs. the baseline).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the JSON document benchjson writes.
+type Doc struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+type requirement struct {
+	name string
+	pct  float64
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		outPath  = fs.String("out", "", "write the parsed JSON document to this file ('-' = stdout)")
+		basePath = fs.String("baseline", "", "compare against this baseline JSON document")
+		requires requireList
+	)
+	fs.Var(&requires, "require", "NAME:PCT — fail unless NAME improved by at least PCT% vs. the baseline (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	doc, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found on input")
+		return 2
+	}
+	if *outPath != "" {
+		if err := writeDoc(doc, *outPath, stdout); err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 2
+		}
+	}
+	if *basePath == "" {
+		if *outPath == "" {
+			// No baseline and no -out: emit the document to stdout.
+			if err := writeDoc(doc, "-", stdout); err != nil {
+				fmt.Fprintln(stderr, "benchjson:", err)
+				return 2
+			}
+		}
+		if len(requires) > 0 {
+			fmt.Fprintln(stderr, "benchjson: -require needs -baseline")
+			return 2
+		}
+		return 0
+	}
+	base, err := readDoc(*basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	return compare(base, doc, requires, stdout, stderr)
+}
+
+// requireList parses repeated -require NAME:PCT flags.
+type requireList []requirement
+
+func (r *requireList) String() string { return fmt.Sprint([]requirement(*r)) }
+
+func (r *requireList) Set(s string) error {
+	i := strings.LastIndex(s, ":")
+	if i < 0 {
+		return fmt.Errorf("want NAME:PCT, got %q", s)
+	}
+	pct, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil {
+		return fmt.Errorf("bad percentage in %q: %v", s, err)
+	}
+	*r = append(*r, requirement{name: s[:i], pct: pct})
+	return nil
+}
+
+// benchLine matches e.g.
+// "BenchmarkDispatchArith-8   471   469526 ns/op   79336 B/op   9176 allocs/op"
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	index := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		// With -count N the same benchmark appears N times; keep the
+		// fastest run. Under one-sided scheduling noise the minimum is the
+		// best estimator of true cost (per the methodology papers this repo
+		// reproduces, wall-clock noise only ever adds time).
+		if i, ok := index[e.Name]; ok {
+			if e.NsPerOp < doc.Benchmarks[i].NsPerOp {
+				doc.Benchmarks[i] = e
+			}
+			continue
+		}
+		index[e.Name] = len(doc.Benchmarks)
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	return doc, sc.Err()
+}
+
+func readDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func writeDoc(doc *Doc, path string, stdout io.Writer) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// compare prints per-benchmark ns/op deltas vs. the baseline and enforces
+// any -require thresholds. Positive improvement = candidate is faster.
+func compare(base, cand *Doc, reqs []requirement, stdout, stderr io.Writer) int {
+	byName := map[string]Entry{}
+	for _, e := range base.Benchmarks {
+		byName[e.Name] = e
+	}
+	improvements := map[string]float64{}
+	fmt.Fprintf(stdout, "%-28s %14s %14s %9s %14s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs/op")
+	for _, e := range cand.Benchmarks {
+		b, ok := byName[e.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-28s %14s %14.0f %9s %8d->%-5d\n", e.Name, "(new)", e.NsPerOp, "", 0, e.AllocsPerOp)
+			continue
+		}
+		imp := 100 * (1 - e.NsPerOp/b.NsPerOp)
+		improvements[e.Name] = imp
+		fmt.Fprintf(stdout, "%-28s %14.0f %14.0f %+8.1f%% %8d->%-5d\n",
+			e.Name, b.NsPerOp, e.NsPerOp, -imp, b.AllocsPerOp, e.AllocsPerOp)
+	}
+	failed := 0
+	for _, r := range reqs {
+		imp, ok := improvements[r.name]
+		switch {
+		case !ok:
+			fmt.Fprintf(stderr, "benchjson: FAIL: %s missing from candidate or baseline\n", r.name)
+			failed++
+		case imp < r.pct:
+			fmt.Fprintf(stderr, "benchjson: FAIL: %s improved %.1f%%, need >= %.1f%%\n", r.name, imp, r.pct)
+			failed++
+		default:
+			fmt.Fprintf(stdout, "benchjson: PASS: %s improved %.1f%% (>= %.1f%%)\n", r.name, imp, r.pct)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/vm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDispatchArith-8   	     471	    469526 ns/op	   79336 B/op	    9176 allocs/op
+BenchmarkCallFib-8         	     595	    435366 ns/op	  123320 B/op	    4323 allocs/op
+BenchmarkNoMem-8           	    1000	      1234.5 ns/op
+PASS
+ok  	repro/internal/vm	2.124s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro/internal/vm" {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	e := doc.Benchmarks[0]
+	if e.Name != "BenchmarkDispatchArith" || e.Iterations != 471 ||
+		e.NsPerOp != 469526 || e.BytesPerOp != 79336 || e.AllocsPerOp != 9176 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	if doc.Benchmarks[2].NsPerOp != 1234.5 || doc.Benchmarks[2].AllocsPerOp != 0 {
+		t.Errorf("entry 2 = %+v", doc.Benchmarks[2])
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out, errB bytes.Buffer
+	code := run(nil, strings.NewReader(sampleOutput), &out, &errB)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errB.String())
+	}
+	if !strings.Contains(out.String(), `"name": "BenchmarkCallFib"`) {
+		t.Errorf("JSON output missing benchmark entry:\n%s", out.String())
+	}
+}
+
+func TestCompareRequire(t *testing.T) {
+	base := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkDispatchArith", NsPerOp: 1000},
+		{Name: "BenchmarkCallFib", NsPerOp: 1000},
+	}}
+	cand := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkDispatchArith", NsPerOp: 700}, // 30% faster
+		{Name: "BenchmarkCallFib", NsPerOp: 950},       // 5% faster
+	}}
+	var out, errB bytes.Buffer
+	code := compare(base, cand, []requirement{{name: "BenchmarkDispatchArith", pct: 25}}, &out, &errB)
+	if code != 0 {
+		t.Fatalf("expected pass, got %d: %s", code, errB.String())
+	}
+	out.Reset()
+	errB.Reset()
+	code = compare(base, cand, []requirement{{name: "BenchmarkCallFib", pct: 25}}, &out, &errB)
+	if code != 1 {
+		t.Fatalf("expected fail, got %d", code)
+	}
+	if !strings.Contains(errB.String(), "BenchmarkCallFib") {
+		t.Errorf("failure message missing name: %s", errB.String())
+	}
+}
+
+func TestRequireFlagParsing(t *testing.T) {
+	var r requireList
+	if err := r.Set("BenchmarkX:25"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0].name != "BenchmarkX" || r[0].pct != 25 {
+		t.Errorf("parsed %+v", r)
+	}
+	if err := r.Set("nocolon"); err == nil {
+		t.Error("expected error for missing colon")
+	}
+}

@@ -215,20 +215,40 @@ func (l *linter) checkGlobalRand(call *ast.CallExpr, pkg, fn string) {
 }
 
 // checkHotpath walks the body of a benchlint:hotpath function and flags
-// calls into packages that allocate, lock, or syscall.
+// calls into packages that allocate, lock, or syscall, plus fresh map
+// allocations — make(map[...]) and map composite literals. A map allocated
+// per dispatch hits the runtime allocator and defeats the register
+// allocation the loop depends on; indexing an existing map is fine, and
+// cold map-building code belongs in an unmarked helper (see the vm's
+// buildClass, extracted from the dispatch loop for exactly this reason).
 func (l *linter) checkHotpath(name string, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "make" && id.Obj == nil {
+				if len(node.Args) > 0 {
+					if _, isMap := node.Args[0].(*ast.MapType); isMap {
+						l.report(node.Pos(), "hotpathmap",
+							"make(map) inside hot-path function %s (allocates in the dispatch loop; hoist or extract to a cold helper)",
+							name)
+						return true
+					}
+				}
+			}
+			pkg, fn, ok := l.qualifiedCall(node)
+			if !ok || !hotpathForbidden[pkg] {
+				return true
+			}
+			l.report(node.Pos(), "hotpath",
+				"%s.%s inside hot-path function %s (allocates/locks/syscalls in the dispatch loop)",
+				pkg, fn, name)
+		case *ast.CompositeLit:
+			if _, isMap := node.Type.(*ast.MapType); isMap {
+				l.report(node.Pos(), "hotpathmap",
+					"map literal inside hot-path function %s (allocates in the dispatch loop; hoist or extract to a cold helper)",
+					name)
+			}
 		}
-		pkg, fn, ok := l.qualifiedCall(call)
-		if !ok || !hotpathForbidden[pkg] {
-			return true
-		}
-		l.report(call.Pos(), "hotpath",
-			"%s.%s inside hot-path function %s (allocates/locks/syscalls in the dispatch loop)",
-			pkg, fn, name)
 		return true
 	})
 }

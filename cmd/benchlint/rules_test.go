@@ -33,6 +33,8 @@ func TestViolatingFixture(t *testing.T) {
 		{"wallclock", 17}, // time.Since in MeasureOnce
 		{"globalrand", 23},
 		{"hotpath", 31},
+		{"hotpathmap", 43}, // make(map) in dispatchCached
+		{"hotpathmap", 44}, // map literal in dispatchCached
 	}
 	if len(fs) != len(want) {
 		t.Fatalf("got %d findings, want %d:\n%v", len(fs), len(want), fs)
@@ -50,7 +52,7 @@ func TestViolatingFixture(t *testing.T) {
 			t.Errorf("unexpected finding %v", f)
 		}
 	}
-	for _, r := range []string{"wallclock", "globalrand", "hotpath"} {
+	for _, r := range []string{"wallclock", "globalrand", "hotpath", "hotpathmap"} {
 		if !seen[r] {
 			t.Errorf("rule %s produced no finding", r)
 		}

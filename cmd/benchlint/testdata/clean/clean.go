@@ -39,6 +39,19 @@ func dispatch(ops []int) int {
 	return acc
 }
 
+// dispatchCounted reads and writes an existing map inside the loop. Map
+// indexing and index assignment are fine on the hot path — only allocating
+// a fresh map (make or a composite literal) is flagged.
+// benchlint:hotpath
+func dispatchCounted(ops []int, counts map[int]int) int {
+	acc := 0
+	for _, op := range ops {
+		counts[op]++
+		acc += counts[op]
+	}
+	return acc
+}
+
 // timeTable shadows the time package name with a local; calls through it
 // must not be mistaken for clock reads.
 func timeTable() int {

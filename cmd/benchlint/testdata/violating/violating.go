@@ -34,6 +34,19 @@ func dispatch(ops []int) int {
 	return acc
 }
 
+// dispatchCached allocates a fresh cache inside the dispatch loop — the
+// per-iteration map allocation benchlint's hotpathmap rule exists to catch.
+// benchlint:hotpath
+func dispatchCached(ops []int) int {
+	acc := 0
+	for _, op := range ops {
+		cache := make(map[int]int)    // violation: hotpathmap
+		weights := map[int]int{op: 1} // violation: hotpathmap
+		acc += cache[op] + weights[op]
+	}
+	return acc
+}
+
 // SanctionedStamp shows the escape hatch: an annotated clock read is a
 // deliberate, reviewed site and must NOT be flagged.
 func SanctionedStamp() time.Time {

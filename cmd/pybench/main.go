@@ -43,6 +43,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/methodology"
 	"repro/internal/metrics"
+	"repro/internal/minipy"
 	"repro/internal/noise"
 	"repro/internal/profile"
 	"repro/internal/report"
@@ -56,7 +57,7 @@ import (
 func main() {
 	var (
 		list        = flag.Bool("list", false, "list benchmarks and experiment ids")
-		exp         = flag.String("exp", "", "experiment id (T1..T5, F1..F8, A1..A6) or 'all'")
+		exp         = flag.String("exp", "", "experiment id (T1..T5, F1..F8, A1..A7) or 'all'")
 		bench       = flag.String("bench", "", "run a single benchmark experiment")
 		mode        = flag.String("mode", "interp", "engine for -bench: interp or jit")
 		invocations = flag.Int("invocations", 0, "invocations per experiment (0 = default)")
@@ -80,6 +81,7 @@ func main() {
 		collapsed   = flag.String("collapsed", "", "with -profile: also write folded call stacks to FILE (flamegraph.pl / speedscope format)")
 		workers     = flag.Int("workers", 1, "worker shards for -bench/-suite/-exp invocation execution (1 = sequential; the sample set is identical either way)")
 		parPolicy   = flag.String("parallel-policy", "guard", "interference-guard policy for -workers > 1: guard (flag contention), fallback (revert to sequential), force (skip probes)")
+		optLevel    = flag.Int("opt", 0, "bytecode-optimization level for -bench/-dis: 0 = off, 1 = peephole, 2 = +superinstructions (changes the simulated opcode stream; a distinct experiment arm, see ablation A7)")
 		showVersion = flag.Bool("version", false, "print version, Go version, and platform, then exit")
 	)
 	flag.Usage = usage
@@ -142,7 +144,7 @@ func main() {
 			fatal(err)
 		}
 	case *dis != "":
-		if err := doDisassemble(*dis); err != nil {
+		if err := doDisassemble(*dis, *optLevel); err != nil {
 			fatal(err)
 		}
 	case *lint:
@@ -157,7 +159,7 @@ func main() {
 			fatal(err)
 		}
 	case *bench != "":
-		if err := doBench(*bench, *mode, cfg, *jsonOut, obs); err != nil {
+		if err := doBench(*bench, *mode, cfg, *optLevel, *jsonOut, obs); err != nil {
 			fatal(err)
 		}
 		if err := obs.finish(os.Stdout, !*jsonOut); err != nil {
@@ -439,7 +441,7 @@ func doExperiments(id string, cfg core.Config, style renderStyle) error {
 	return nil
 }
 
-func doBench(name, modeName string, cfg core.Config, jsonOut bool, o *observability) error {
+func doBench(name, modeName string, cfg core.Config, opt int, jsonOut bool, o *observability) error {
 	b, ok := workloads.ByName(name)
 	if !ok {
 		return unknownBenchmark(name)
@@ -483,6 +485,7 @@ func doBench(name, modeName string, cfg core.Config, jsonOut bool, o *observabil
 		Iterations:  iter,
 		Seed:        seed,
 		Noise:       np,
+		Opt:         opt,
 	}, parallelOptions(cfg))
 	if err != nil {
 		if res != nil && res.Supervision != nil {
@@ -660,7 +663,7 @@ func doProfile(name, collapsedPath string) error {
 }
 
 // doDisassemble prints a benchmark's compiled bytecode.
-func doDisassemble(name string) error {
+func doDisassemble(name string, opt int) error {
 	b, ok := workloads.ByName(name)
 	if !ok {
 		return unknownBenchmark(name)
@@ -668,6 +671,12 @@ func doDisassemble(name string) error {
 	code, err := b.Compile()
 	if err != nil {
 		return err
+	}
+	if opt > 0 {
+		code, err = minipy.Optimize(code, opt, analysis.OptimizationFacts(code))
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Print(code.Disassemble())
 	return nil

@@ -47,7 +47,7 @@ func TestNoiseByName(t *testing.T) {
 }
 
 func TestDoBenchErrors(t *testing.T) {
-	err := doBench("no-such-benchmark", "interp", core.Config{}, false, noObs())
+	err := doBench("no-such-benchmark", "interp", core.Config{}, 0, false, noObs())
 	if err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
@@ -57,7 +57,7 @@ func TestDoBenchErrors(t *testing.T) {
 			t.Errorf("unknown-benchmark error missing %q: %v", want, err)
 		}
 	}
-	if err := doBench("fib", "turbo", core.Config{}, false, noObs()); err == nil {
+	if err := doBench("fib", "turbo", core.Config{}, 0, false, noObs()); err == nil {
 		t.Fatal("unknown mode must error")
 	}
 }
@@ -66,7 +66,7 @@ func TestDoProfileAndDisassembleErrors(t *testing.T) {
 	if err := doProfile("no-such-benchmark", ""); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
-	if err := doDisassemble("no-such-benchmark"); err == nil {
+	if err := doDisassemble("no-such-benchmark", 0); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }
@@ -123,7 +123,7 @@ func TestDoBenchSupervisedWithFaults(t *testing.T) {
 		Faults:        faults.Params{PanicProb: 0.3},
 		CheckpointDir: dir,
 	}
-	out := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false, noObs()) })
+	out := captureStdout(t, func() error { return doBench("fib", "interp", cfg, 0, false, noObs()) })
 	for _, want := range []string{"effective N", "retries / dropped / quarantined"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("supervised -bench output missing %q:\n%s", want, out)
@@ -135,7 +135,7 @@ func TestDoBenchSupervisedWithFaults(t *testing.T) {
 	}
 	// Re-running against the completed checkpoint must succeed (nothing
 	// re-runs) and report the same numbers, plus the resume annotation.
-	again := captureStdout(t, func() error { return doBench("fib", "interp", cfg, false, noObs()) })
+	again := captureStdout(t, func() error { return doBench("fib", "interp", cfg, 0, false, noObs()) })
 	if !strings.Contains(again, "resumed at invocation 3") {
 		t.Errorf("resumed -bench missing resume annotation:\n%s", again)
 	}
@@ -149,7 +149,7 @@ func TestTraceFlagWritesValidChromeTrace(t *testing.T) {
 	cfg := core.Config{Invocations: 2, Iterations: 3, Seed: 7, Noise: noise.Quiet()}
 	o := newObservability(traceFile, false)
 	captureStdout(t, func() error {
-		if err := doBench("fib", "interp", cfg, false, o); err != nil {
+		if err := doBench("fib", "interp", cfg, 0, false, o); err != nil {
 			return err
 		}
 		return o.finish(os.Stdout, true)
@@ -178,7 +178,7 @@ func TestMetricsFlagRidesBenchJSON(t *testing.T) {
 	cfg := core.Config{Invocations: 2, Iterations: 2, Seed: 7, Noise: noise.Quiet()}
 	o := newObservability("", true)
 	out := captureStdout(t, func() error {
-		if err := doBench("fib", "interp", cfg, true, o); err != nil {
+		if err := doBench("fib", "interp", cfg, 0, true, o); err != nil {
 			return err
 		}
 		// -json suppresses the text snapshot so stdout stays a JSON document.
@@ -199,7 +199,7 @@ func TestMetricsFlagPrintsTextSnapshot(t *testing.T) {
 	cfg := core.Config{Invocations: 1, Iterations: 2, Seed: 7, Noise: noise.Quiet()}
 	o := newObservability("", true)
 	out := captureStdout(t, func() error {
-		if err := doBench("fib", "interp", cfg, false, o); err != nil {
+		if err := doBench("fib", "interp", cfg, 0, false, o); err != nil {
 			return err
 		}
 		return o.finish(os.Stdout, true)

@@ -57,6 +57,11 @@ func succsOf(code *minipy.Code, pc int) []int {
 			return []int{arg}
 		}
 		return []int{arg, pc + 1}
+	case minipy.OpBinaryJumpIfFalse:
+		if t := arg >> 4; t != pc+1 {
+			return []int{t, pc + 1}
+		}
+		return []int{pc + 1}
 	}
 	return []int{pc + 1}
 }
@@ -65,7 +70,8 @@ func succsOf(code *minipy.Code, pc int) []int {
 func isTerminator(code *minipy.Code, pc int) bool {
 	switch code.Ops[pc].Op {
 	case minipy.OpReturn, minipy.OpJump, minipy.OpJumpIfFalse, minipy.OpJumpIfTrue,
-		minipy.OpJumpIfFalseKeep, minipy.OpJumpIfTrueKeep, minipy.OpForIter:
+		minipy.OpJumpIfFalseKeep, minipy.OpJumpIfTrueKeep, minipy.OpForIter,
+		minipy.OpBinaryJumpIfFalse:
 		return true
 	}
 	return false

@@ -112,35 +112,9 @@ func checkDefiniteAssignment(g *Graph, r *Report) {
 	// report is true, emits diagnostics at load sites.
 	warned := make(map[int]bool) // per-variable warning dedup
 	transfer := func(b *Block, must, may bitset, report bool) {
-		for pc := b.Start; pc < b.End; pc++ {
-			ins := c.Ops[pc]
-			var isCell bool
-			var load bool
-			switch ins.Op {
-			case minipy.OpLoadLocal:
-				load = true
-			case minipy.OpLoadCell, minipy.OpPushCell:
-				// PUSH_CELL captures the cell container, not its value, so
-				// it never reads an unassigned variable; only LOAD_CELL is
-				// a use.
-				load = ins.Op == minipy.OpLoadCell
-				isCell = true
-			case minipy.OpStoreLocal:
-				must.set(varIndex(c, false, int(ins.Arg)))
-				may.set(varIndex(c, false, int(ins.Arg)))
-				continue
-			case minipy.OpStoreCell:
-				must.set(varIndex(c, true, int(ins.Arg)))
-				may.set(varIndex(c, true, int(ins.Arg)))
-				continue
-			default:
-				continue
-			}
-			if !load || !report {
-				continue
-			}
-			v := varIndex(c, isCell, int(ins.Arg))
-			name := varName(c, isCell, int(ins.Arg))
+		checkLoad := func(pc int, isCell bool, slot int) {
+			v := varIndex(c, isCell, slot)
+			name := varName(c, isCell, slot)
 			if !may.get(v) {
 				r.Diagnostics = append(r.Diagnostics, Diagnostic{
 					Func: c.Name, PC: pc, Line: lineOf(c, pc),
@@ -154,6 +128,37 @@ func checkDefiniteAssignment(g *Graph, r *Report) {
 					Severity: Warning, Rule: "possibly-unassigned",
 					Msg: fmt.Sprintf("variable %q may be unassigned on some paths", name),
 				})
+			}
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := c.Ops[pc]
+			switch ins.Op {
+			case minipy.OpLoadLocal:
+				if report {
+					checkLoad(pc, false, int(ins.Arg))
+				}
+			case minipy.OpLoadLocalPair:
+				if report {
+					checkLoad(pc, false, int(ins.Arg)&0xFFF)
+					checkLoad(pc, false, int(ins.Arg)>>12)
+				}
+			case minipy.OpLoadLocalConst:
+				if report {
+					checkLoad(pc, false, int(ins.Arg)&0xFFF)
+				}
+			case minipy.OpLoadCell:
+				// PUSH_CELL captures the cell container, not its value, so
+				// it never reads an unassigned variable; only LOAD_CELL is
+				// a use.
+				if report {
+					checkLoad(pc, true, int(ins.Arg))
+				}
+			case minipy.OpStoreLocal:
+				must.set(varIndex(c, false, int(ins.Arg)))
+				may.set(varIndex(c, false, int(ins.Arg)))
+			case minipy.OpStoreCell:
+				must.set(varIndex(c, true, int(ins.Arg)))
+				may.set(varIndex(c, true, int(ins.Arg)))
 			}
 		}
 	}

@@ -19,7 +19,55 @@ func checkLiveness(g *Graph, r *Report, f *FuncReport) {
 	if nlocals == 0 {
 		return
 	}
+	liveOut := localLiveness(g)
 
+	// Walk each reachable block backward with a running live set and flag
+	// stores into dead slots.
+	for _, id := range g.RPO {
+		b := g.Blocks[id]
+		live := liveOut[id].clone()
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			ins := c.Ops[pc]
+			switch ins.Op {
+			case minipy.OpLoadLocal:
+				live.set(int(ins.Arg))
+			case minipy.OpLoadLocalPair:
+				live.set(int(ins.Arg) & 0xFFF)
+				live.set(int(ins.Arg) >> 12)
+			case minipy.OpLoadLocalConst:
+				live.set(int(ins.Arg) & 0xFFF)
+			case minipy.OpStoreLocal:
+				slot := int(ins.Arg)
+				if !live.get(slot) {
+					name := c.LocalNames[slot]
+					if pc > 0 && c.Ops[pc-1].Op == minipy.OpForIter {
+						f.UnusedLoops++
+						r.Diagnostics = append(r.Diagnostics, Diagnostic{
+							Func: c.Name, PC: pc, Line: lineOf(c, pc),
+							Severity: Info, Rule: "unused-loop-var",
+							Msg: fmt.Sprintf("loop variable %q is never read", name),
+						})
+					} else {
+						f.DeadStores++
+						r.Diagnostics = append(r.Diagnostics, Diagnostic{
+							Func: c.Name, PC: pc, Line: lineOf(c, pc),
+							Severity: Warning, Rule: "dead-store",
+							Msg: fmt.Sprintf("value stored to %q is never read", name),
+						})
+					}
+				}
+				live[slot/64] &^= 1 << uint(slot%64)
+			}
+		}
+	}
+}
+
+// localLiveness runs the backward liveness dataflow over local slots and
+// returns each block's live-out set. Shared by the dead-store diagnostic
+// above and by OptimizationFacts (which feeds the bytecode optimizer).
+func localLiveness(g *Graph) []bitset {
+	c := g.Code
+	nlocals := len(c.LocalNames)
 	nb := len(g.Blocks)
 	use := make([]bitset, nb) // read before any write in the block
 	def := make([]bitset, nb) // written in the block
@@ -37,6 +85,16 @@ func checkLiveness(g *Graph, r *Report, f *FuncReport) {
 			case minipy.OpLoadLocal:
 				if !def[i].get(int(ins.Arg)) {
 					use[i].set(int(ins.Arg))
+				}
+			case minipy.OpLoadLocalPair:
+				for _, slot := range []int{int(ins.Arg) & 0xFFF, int(ins.Arg) >> 12} {
+					if !def[i].get(slot) {
+						use[i].set(slot)
+					}
+				}
+			case minipy.OpLoadLocalConst:
+				if slot := int(ins.Arg) & 0xFFF; !def[i].get(slot) {
+					use[i].set(slot)
 				}
 			case minipy.OpStoreLocal:
 				def[i].set(int(ins.Arg))
@@ -65,39 +123,5 @@ func checkLiveness(g *Graph, r *Report, f *FuncReport) {
 			}
 		}
 	}
-
-	// Walk each reachable block backward with a running live set and flag
-	// stores into dead slots.
-	for _, id := range g.RPO {
-		b := g.Blocks[id]
-		live := liveOut[id].clone()
-		for pc := b.End - 1; pc >= b.Start; pc-- {
-			ins := c.Ops[pc]
-			switch ins.Op {
-			case minipy.OpLoadLocal:
-				live.set(int(ins.Arg))
-			case minipy.OpStoreLocal:
-				slot := int(ins.Arg)
-				if !live.get(slot) {
-					name := c.LocalNames[slot]
-					if pc > 0 && c.Ops[pc-1].Op == minipy.OpForIter {
-						f.UnusedLoops++
-						r.Diagnostics = append(r.Diagnostics, Diagnostic{
-							Func: c.Name, PC: pc, Line: lineOf(c, pc),
-							Severity: Info, Rule: "unused-loop-var",
-							Msg: fmt.Sprintf("loop variable %q is never read", name),
-						})
-					} else {
-						f.DeadStores++
-						r.Diagnostics = append(r.Diagnostics, Diagnostic{
-							Func: c.Name, PC: pc, Line: lineOf(c, pc),
-							Severity: Warning, Rule: "dead-store",
-							Msg: fmt.Sprintf("value stored to %q is never read", name),
-						})
-					}
-				}
-				live[slot/64] &^= 1 << uint(slot%64)
-			}
-		}
-	}
+	return liveOut
 }

@@ -300,6 +300,18 @@ func interpret(g *Graph, mctx *modCtx, moduleMode bool, r *Report, f *FuncReport
 			v := st.locals[arg]
 			note(v)
 			push(v)
+		case minipy.OpLoadLocalPair:
+			a := st.locals[arg&0xFFF]
+			b := st.locals[arg>>12]
+			note(a)
+			note(b)
+			push(a)
+			push(b)
+		case minipy.OpLoadLocalConst:
+			v := st.locals[arg&0xFFF]
+			note(v)
+			push(v)
+			push(constType(c.Consts[arg>>12]))
 		case minipy.OpStoreLocal:
 			st.locals[arg] = pop()
 		case minipy.OpLoadCell:
@@ -521,6 +533,13 @@ func interpret(g *Graph, mctx *modCtx, moduleMode bool, r *Report, f *FuncReport
 			popped := st.clone()
 			popped.stack = popped.stack[:len(popped.stack)-1]
 			propagate(arg, popped)
+			propagate(last+1, popped)
+		case minipy.OpBinaryJumpIfFalse:
+			// Fused BINARY + JUMP_IF_FALSE: both operands are consumed and the
+			// result is tested and popped on both edges.
+			popped := st.clone()
+			popped.stack = popped.stack[:len(popped.stack)-2]
+			propagate(arg>>4, popped)
 			propagate(last+1, popped)
 		case minipy.OpJumpIfFalseKeep, minipy.OpJumpIfTrueKeep:
 			propagate(arg, st) // jump path keeps the tested value

@@ -65,7 +65,7 @@ func (r *Runner) RunAdaptive(b workloads.Benchmark, opts AdaptiveOptions) (*Adap
 		pilot = maxInv
 	}
 
-	code, summary, err := r.compiled(b)
+	code, summary, err := r.compiled(b, base.Opt)
 	if err != nil {
 		return nil, err
 	}

@@ -42,6 +42,11 @@ type Options struct {
 	// Unlike the step budget it depends on the host clock, so it exists
 	// for supervision (kill a hung invocation), not for measurement.
 	WallBudget time.Duration `json:",omitempty"`
+	// Opt is the bytecode-optimization level (see minipy.Optimize). 0 runs
+	// the compiler's output unchanged. Levels >= 1 rewrite the simulated
+	// opcode stream, so optimized runs are a distinct experiment arm — never
+	// comparable sample-for-sample with level 0.
+	Opt int `json:",omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -165,8 +170,8 @@ func NewRunner() *Runner {
 // Cache exposes the runner's compiled-code cache (shards and tests share it).
 func (r *Runner) Cache() *workloads.CodeCache { return r.cache }
 
-func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, *analysis.Summary, error) {
-	e, hit, err := r.cache.Get(b)
+func (r *Runner) compiled(b workloads.Benchmark, opt int) (*minipy.Code, *analysis.Summary, error) {
+	e, hit, err := r.cache.GetOpt(b, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -181,7 +186,7 @@ func (r *Runner) compiled(b workloads.Benchmark) (*minipy.Code, *analysis.Summar
 // Run executes the full experiment for one benchmark.
 func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	code, summary, err := r.compiled(b)
+	code, summary, err := r.compiled(b, opts.Opt)
 	if err != nil {
 		return nil, err
 	}

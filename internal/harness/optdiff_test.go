@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestOptTwoPreservesResults is the differential witness for the bytecode
+// optimizer: every workload in the suite (and the extended set) must produce
+// the identical checksum at -opt 2 as at -opt 0, under both engines where
+// the workload terminates quickly enough. Any folding, dead-store, or fusion
+// bug that changes observable behaviour fails here by name.
+func TestOptTwoPreservesResults(t *testing.T) {
+	r := NewRunner()
+	benches := append(append([]workloads.Benchmark{}, workloads.Suite()...),
+		workloads.Extended()...)
+	for _, b := range benches {
+		opts := Options{Mode: vm.ModeInterp, Invocations: 1, Iterations: 2, Noise: noise.None()}
+		base, err := r.Run(b, opts)
+		if err != nil {
+			t.Fatalf("%s opt 0: %v", b.Name, err)
+		}
+		opts.Opt = 2
+		opt, err := r.Run(b, opts)
+		if err != nil {
+			t.Fatalf("%s opt 2: %v", b.Name, err)
+		}
+		if got, want := opt.Invocations[0].Checksum, base.Invocations[0].Checksum; got != want {
+			t.Errorf("%s: checksum diverged under -opt 2: got %s, want %s", b.Name, got, want)
+		}
+		// The optimizer must not increase simulated work: strictly fewer (or
+		// equal) executed ops per iteration, since every pass removes or
+		// fuses dispatches and none adds any.
+		bs := base.Invocations[0].Steps
+		os := opt.Invocations[0].Steps
+		if os[len(os)-1] > bs[len(bs)-1] {
+			t.Errorf("%s: -opt 2 executed MORE ops per iteration (%d > %d)",
+				b.Name, os[len(os)-1], bs[len(bs)-1])
+		}
+	}
+}
+
+// TestOptTwoPreservesResultsUnderJIT spot-checks that optimized bytecode
+// composes with the tracing JIT (back-edge counting, trace compilation, and
+// guards all run over the rewritten opcode stream).
+func TestOptTwoPreservesResultsUnderJIT(t *testing.T) {
+	r := NewRunner()
+	for _, name := range []string{"fib", "collatz", "branchy"} {
+		b, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("no benchmark %q", name)
+		}
+		opts := Options{Mode: vm.ModeJIT, Invocations: 1, Iterations: 3, Noise: noise.None()}
+		base, err := r.Run(b, opts)
+		if err != nil {
+			t.Fatalf("%s jit opt 0: %v", name, err)
+		}
+		opts.Opt = 2
+		opt, err := r.Run(b, opts)
+		if err != nil {
+			t.Fatalf("%s jit opt 2: %v", name, err)
+		}
+		if got, want := opt.Invocations[0].Checksum, base.Invocations[0].Checksum; got != want {
+			t.Errorf("%s: JIT checksum diverged under -opt 2: got %s, want %s", name, got, want)
+		}
+	}
+}
+
+// TestSampleSetsAreDeterministic re-runs the same experiment twice at two
+// different seeds and requires byte-identical JSON sample sets. This is the
+// in-tree version of the benchgate equivalence check: the host-level fast
+// paths (frame pooling, inline caches, interning) must not leak host state
+// (map order, pointer values, pool history) into simulated measurements.
+func TestSampleSetsAreDeterministic(t *testing.T) {
+	b, ok := workloads.ByName("fib")
+	if !ok {
+		t.Fatal("no fib benchmark")
+	}
+	for _, seed := range []uint64{42, 20260806} {
+		opts := Options{
+			Mode:        vm.ModeInterp,
+			Invocations: 3,
+			Iterations:  5,
+			Seed:        seed,
+			Noise:       noise.Default(),
+		}
+		var runs [2]bytes.Buffer
+		for i := range runs {
+			// A fresh Runner per run: nothing cached may influence samples.
+			res, err := NewRunner().Run(b, opts)
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, i, err)
+			}
+			if err := res.WriteJSON(&runs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(runs[0].Bytes(), runs[1].Bytes()) {
+			t.Errorf("seed %d: sample sets differ between identical runs", seed)
+		}
+	}
+}

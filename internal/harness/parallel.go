@@ -303,7 +303,7 @@ func (r *Runner) RunParallel(b workloads.Benchmark, opts Options, po ParallelOpt
 		}
 		return res, err
 	}
-	code, summary, err := r.compiled(b)
+	code, summary, err := r.compiled(b, opts.Opt)
 	if err != nil {
 		return nil, err
 	}

@@ -200,7 +200,7 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options,
 	ckpt CheckpointStore, po ParallelOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	po = po.withDefaults()
-	code, summary, err := s.r.compiled(b)
+	code, summary, err := s.r.compiled(b, opts.Opt)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}

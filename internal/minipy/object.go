@@ -60,6 +60,55 @@ func (Str) TypeName() string { return "str" }
 func (v Str) Truth() bool    { return len(v) > 0 }
 func (v Str) Repr() string   { return "'" + strings.ReplaceAll(string(v), "'", "\\'") + "'" }
 
+// ---- Interned values ----
+//
+// Converting a small Go integer or a one-byte string to a Value boxes it on
+// the heap, and the engines sit on exactly such conversions in their hottest
+// paths (arithmetic results, range iteration, string indexing). The tables
+// below pre-box the common cases once per process so those paths allocate
+// nothing. Interning is invisible to programs: Int and Str compare by value
+// through the interface, never by box identity, so an interned 42 is
+// indistinguishable from a freshly boxed one.
+
+const (
+	internIntMin = -1024
+	internIntMax = 16384
+)
+
+var internedInts = func() []Value {
+	vs := make([]Value, internIntMax-internIntMin+1)
+	for i := range vs {
+		vs[i] = Int(internIntMin + i)
+	}
+	return vs
+}()
+
+var internedStr1 = func() []Value {
+	vs := make([]Value, 256)
+	for i := range vs {
+		vs[i] = Str([]byte{byte(i)})
+	}
+	return vs
+}()
+
+// IntValue boxes an int64 as a Value, reusing an interned box for small
+// magnitudes so hot arithmetic avoids heap allocation.
+func IntValue(i int64) Value {
+	// Single unsigned compare covers both range bounds and proves the index
+	// in bounds, so the table load compiles to check+load with no branch
+	// chain. This is the hottest function in the interpreter.
+	if u := uint64(i - internIntMin); u < uint64(len(internedInts)) {
+		return internedInts[u]
+	}
+	return Int(i)
+}
+
+// Str1Value boxes a one-byte string as a Value from the interned table
+// (MiniPy strings are byte strings, so indexing and iteration yield these).
+func Str1Value(b byte) Value {
+	return internedStr1[b]
+}
+
 // NoneType is the type of None.
 type NoneType struct{}
 
@@ -73,20 +122,53 @@ func (NoneType) Repr() string     { return "None" }
 // ---- Containers ----
 
 // List is a mutable MiniPy list. Addr is the synthetic heap address used by
-// the simulated cache model.
+// the simulated cache model. small is inline storage for the 1–2 element
+// lists that dominate allocation profiles: NewListFrom points Items at it,
+// saving the separate backing-array allocation (host-level only; the
+// simulated allocation accounting is unchanged).
 type List struct {
 	Items []Value
 	Addr  uint64
+	small [2]Value
 }
 
 func (*List) TypeName() string { return "list" }
 func (l *List) Truth() bool    { return len(l.Items) > 0 }
 func (l *List) Repr() string   { return reprSeq("[", l.Items, "]", false) }
 
-// Tuple is an immutable MiniPy tuple.
+// NewListFrom builds a list by copying src, using the inline buffer when it
+// fits. Callers that hand over ownership of a slice should construct the
+// List directly instead.
+func NewListFrom(src []Value, addr uint64) *List {
+	l := &List{Addr: addr}
+	if len(src) <= len(l.small) {
+		n := copy(l.small[:], src)
+		l.Items = l.small[:n:len(l.small)]
+	} else {
+		l.Items = append([]Value(nil), src...)
+	}
+	return l
+}
+
+// Tuple is an immutable MiniPy tuple. small mirrors List.small: pairs and
+// singletons get inline element storage.
 type Tuple struct {
 	Items []Value
 	Addr  uint64
+	small [2]Value
+}
+
+// NewTupleFrom builds a tuple by copying src, using the inline buffer when
+// it fits.
+func NewTupleFrom(src []Value, addr uint64) *Tuple {
+	t := &Tuple{Addr: addr}
+	if len(src) <= len(t.small) {
+		n := copy(t.small[:], src)
+		t.Items = t.small[:n:len(t.small)]
+	} else {
+		t.Items = append([]Value(nil), src...)
+	}
+	return t
 }
 
 func (*Tuple) TypeName() string { return "tuple" }

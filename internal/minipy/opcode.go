@@ -42,6 +42,14 @@ const (
 	OpForIter            // arg: exit pc; pushes next element or pops iterator and jumps
 	OpMakeFunction       // arg: const index of *Code; pops len(FreeNames) cells
 	OpUnpack             // arg: n; pops sequence, pushes n items (first item on top)
+
+	// Superinstructions, emitted only by the bytecode optimizer (Optimize at
+	// level >= 2), never by the compiler. Each fuses an adjacent pair into
+	// one dispatch; the cost model charges the sum of the component ops'
+	// base cost under a single dispatch overhead.
+	OpLoadLocalPair     // arg: slotA | slotB<<12; pushes locals[slotA], locals[slotB]
+	OpLoadLocalConst    // arg: slot | constIdx<<12; pushes locals[slot], consts[constIdx]
+	OpBinaryJumpIfFalse // arg: BinOpCode | target<<4; pops two, jumps if result is falsy
 	opCount
 )
 
@@ -81,6 +89,10 @@ var opNames = [...]string{
 	OpForIter:         "FOR_ITER",
 	OpMakeFunction:    "MAKE_FUNCTION",
 	OpUnpack:          "UNPACK",
+
+	OpLoadLocalPair:     "LOAD_LOCAL_PAIR",
+	OpLoadLocalConst:    "LOAD_LOCAL_CONST",
+	OpBinaryJumpIfFalse: "BINARY_JUMP_IF_FALSE",
 }
 
 func (o Op) String() string {
@@ -160,6 +172,10 @@ type Code struct {
 	Ops        []Instr
 	Lines      []int32
 	IsModule   bool
+	// MaxStack is the maximum operand-stack depth this code object can
+	// reach, computed by Verify (0 until verified). Engines use it to size
+	// pooled frame stacks; it is a capacity hint, never a hard limit.
+	MaxStack int
 }
 
 func (*Code) TypeName() string { return "code" }
@@ -184,6 +200,14 @@ func (c *Code) Disassemble() string {
 			detail = " ; " + c.LocalNames[in.Arg]
 		case OpBinary:
 			detail = " ; " + BinOpCode(in.Arg).String()
+		case OpLoadLocalPair:
+			detail = fmt.Sprintf(" ; %s, %s",
+				c.LocalNames[in.Arg&0xFFF], c.LocalNames[in.Arg>>12])
+		case OpLoadLocalConst:
+			detail = fmt.Sprintf(" ; %s, %s",
+				c.LocalNames[in.Arg&0xFFF], c.Consts[in.Arg>>12].Repr())
+		case OpBinaryJumpIfFalse:
+			detail = fmt.Sprintf(" ; %s -> %d", BinOpCode(in.Arg&0xF), in.Arg>>4)
 		}
 		out += fmt.Sprintf("%4d  %-20s %6d%s\n", i, in.Op, in.Arg, detail)
 	}

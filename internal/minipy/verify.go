@@ -92,6 +92,27 @@ func verifyOne(code *Code) error {
 			if arg < 0 {
 				return fail(pc, "negative count %d", arg)
 			}
+		case OpLoadLocalPair:
+			if a := arg & 0xFFF; a >= len(code.LocalNames) {
+				return fail(pc, "local slot %d out of range", a)
+			}
+			if b := arg >> 12; b < 0 || b >= len(code.LocalNames) {
+				return fail(pc, "local slot %d out of range", b)
+			}
+		case OpLoadLocalConst:
+			if s := arg & 0xFFF; s >= len(code.LocalNames) {
+				return fail(pc, "local slot %d out of range", s)
+			}
+			if k := arg >> 12; k < 0 || k >= len(code.Consts) {
+				return fail(pc, "const index %d out of range", k)
+			}
+		case OpBinaryJumpIfFalse:
+			if b := arg & 0xF; b > int(BinIn) {
+				return fail(pc, "binary sub-op %d invalid", b)
+			}
+			if t := arg >> 4; t < 0 || t >= n {
+				return fail(pc, "jump target %d out of range", t)
+			}
 		}
 	}
 
@@ -166,6 +187,18 @@ func verifyOne(code *Code) error {
 				return err
 			}
 			continue
+		case OpBinaryJumpIfFalse:
+			// Fused BINARY + JUMP_IF_FALSE: pops two operands either way.
+			if d < 2 {
+				return fail(pc, "stack underflow executing %v at depth %d", ins.Op, d)
+			}
+			if err := propagate(pc, arg>>4, d-2); err != nil {
+				return err
+			}
+			if err := propagate(pc, pc+1, d-2); err != nil {
+				return err
+			}
+			continue
 		}
 
 		eff, ok := stackEffect(code, ins)
@@ -180,6 +213,17 @@ func verifyOne(code *Code) error {
 			return err
 		}
 	}
+
+	// Every post-push depth is some reachable instruction's entry depth
+	// (ops pop before pushing), so the maximum entry depth is the frame's
+	// true operand-stack high-water mark.
+	maxStack := 0
+	for _, d := range depth {
+		if d > maxStack {
+			maxStack = d
+		}
+	}
+	code.MaxStack = maxStack
 	return nil
 }
 
@@ -196,7 +240,7 @@ const returnEffect = -1
 func EffectOf(code *Code, ins Instr) (pops, pushes int, ok bool) {
 	switch ins.Op {
 	case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpJumpIfFalseKeep,
-		OpJumpIfTrueKeep, OpForIter, OpReturn:
+		OpJumpIfTrueKeep, OpForIter, OpReturn, OpBinaryJumpIfFalse:
 		return 0, 0, false
 	}
 	eff, ok := stackEffect(code, ins)
@@ -222,7 +266,7 @@ func stackEffect(code *Code, ins Instr) (int, bool) {
 		return 0, true
 	case OpLoadConst, OpLoadLocal, OpLoadGlobal, OpLoadCell, OpPushCell, OpDup:
 		return 1, true
-	case OpDup2:
+	case OpDup2, OpLoadLocalPair, OpLoadLocalConst:
 		return 2, true
 	case OpStoreLocal, OpStoreGlobal, OpStoreCell, OpPop, OpBinary, OpIndexGet:
 		return -1, true

@@ -18,6 +18,56 @@ func (*builtinMethod) TypeName() string { return "builtin_function_or_method" }
 func (m *builtinMethod) Truth() bool    { return true }
 func (m *builtinMethod) Repr() string   { return "<built-in method " + m.name + ">" }
 
+// aslot is a monomorphic inline-cache slot for one LOAD_ATTR site. It
+// memoizes the class-hierarchy lookup (not the instance-field probe, which
+// must run every time because fields shadow methods). The slot is valid only
+// while both the receiver class and the global class-mutation epoch match;
+// any STORE_ATTR on a class or external entry bumps in.aepoch and kills
+// every slot at once. Holding a strong *Class reference keeps the identity
+// comparison sound against pointer reuse.
+type aslot struct {
+	class *minipy.Class
+	epoch uint64
+	found bool
+	val   minipy.Value
+}
+
+// getAttrCached is the LOAD_ATTR fast path: like getAttr, but memoizes the
+// method-resolution walk per site. Host-level only — the simulated memory
+// probe and the per-access BoundMethod allocation (identity semantics) are
+// preserved bit-for-bit.
+// benchlint:hotpath
+func (in *Interp) getAttrCached(target minipy.Value, name string, slot *aslot) (minipy.Value, error) {
+	t, ok := target.(*minipy.Instance)
+	if !ok {
+		return in.getAttr(target, name)
+	}
+	in.memAccess(t.Addr+nameHash(name)%16*8, false)
+	if v, ok := t.Fields[name]; ok {
+		return v, nil
+	}
+	if slot.class == t.Class && slot.epoch == in.aepoch {
+		if !slot.found {
+			return nil, attrErr("'%s' object has no attribute '%s'", t.Class.Name, name)
+		}
+		if fn, ok := slot.val.(*minipy.Function); ok {
+			// A fresh bound method per access, exactly as the slow path:
+			// callers may rely on wrapper identity being per-load.
+			return &minipy.BoundMethod{Recv: t, Fn: fn}, nil
+		}
+		return slot.val, nil
+	}
+	v, found := t.Class.Lookup(name)
+	*slot = aslot{class: t.Class, epoch: in.aepoch, found: found, val: v}
+	if !found {
+		return nil, attrErr("'%s' object has no attribute '%s'", t.Class.Name, name)
+	}
+	if fn, ok := v.(*minipy.Function); ok {
+		return &minipy.BoundMethod{Recv: t, Fn: fn}, nil
+	}
+	return v, nil
+}
+
 // getAttr implements LOAD_ATTR for every attribute-bearing type.
 func (in *Interp) getAttr(target minipy.Value, name string) (minipy.Value, error) {
 	switch t := target.(type) {
@@ -63,6 +113,9 @@ func (in *Interp) setAttr(target minipy.Value, name string, value minipy.Value) 
 		return nil
 	case *minipy.Class:
 		t.Methods[name] = value
+		// Class mutation can change the outcome of any cached method
+		// resolution (including subclasses'), so invalidate every attr slot.
+		in.aepoch++
 		return nil
 	}
 	return attrErr("'%s' object attributes are read-only", target.TypeName())

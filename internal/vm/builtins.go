@@ -109,15 +109,15 @@ func builtinTable() map[string]minipy.Value {
 		}
 		switch v := args[0].(type) {
 		case *minipy.List:
-			return minipy.Int(len(v.Items)), nil
+			return minipy.IntValue(int64(len(v.Items))), nil
 		case *minipy.Tuple:
-			return minipy.Int(len(v.Items)), nil
+			return minipy.IntValue(int64(len(v.Items))), nil
 		case minipy.Str:
-			return minipy.Int(len(v)), nil
+			return minipy.IntValue(int64(len(v))), nil
 		case *minipy.Dict:
-			return minipy.Int(v.Len()), nil
+			return minipy.IntValue(int64(v.Len())), nil
 		case *minipy.RangeVal:
-			return minipy.Int(v.Len()), nil
+			return minipy.IntValue(int64(v.Len())), nil
 		}
 		return nil, typeErr("object of type '%s' has no len()", args[0].TypeName())
 	})
@@ -373,7 +373,7 @@ func builtinTable() map[string]minipy.Value {
 		if !ok || len(s) != 1 {
 			return nil, typeErr("ord() expected a character")
 		}
-		return minipy.Int(s[0]), nil
+		return minipy.IntValue(int64(s[0])), nil
 	})
 
 	b["isinstance"] = bf("isinstance", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
@@ -439,7 +439,7 @@ func builtinTable() map[string]minipy.Value {
 		if err != nil {
 			return nil, err
 		}
-		return minipy.Int(int64(math.Floor(x))), nil
+		return minipy.IntValue(int64(math.Floor(x))), nil
 	})
 
 	b["ceil"] = bf("ceil", func(in *Interp, args []minipy.Value) (minipy.Value, error) {
@@ -450,7 +450,7 @@ func builtinTable() map[string]minipy.Value {
 		if err != nil {
 			return nil, err
 		}
-		return minipy.Int(int64(math.Ceil(x))), nil
+		return minipy.IntValue(int64(math.Ceil(x))), nil
 	})
 
 	b["pi"] = minipy.Float(math.Pi)

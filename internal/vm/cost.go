@@ -11,8 +11,10 @@ import "repro/internal/minipy"
 // mispredictions.
 
 // baseInstr is the work (in abstract instructions) each opcode performs,
-// excluding dispatch.
-var baseInstr = [minipy.NumOps]uint32{
+// excluding dispatch. Sized 256 (not NumOps) so indexing with a uint8
+// opcode needs no bounds check in the dispatch loop; entries past NumOps
+// are zero and unreachable (the verifier rejects unknown opcodes).
+var baseInstr = [256]uint32{
 	minipy.OpNop:             1,
 	minipy.OpLoadConst:       4,
 	minipy.OpLoadLocal:       4,
@@ -48,6 +50,13 @@ var baseInstr = [minipy.NumOps]uint32{
 	minipy.OpForIter:         14,
 	minipy.OpMakeFunction:    34,
 	minipy.OpUnpack:          18,
+
+	// Superinstructions cost the sum of their components' base work, but pay
+	// dispatch overhead only once — that single saved dispatch is exactly the
+	// effect the A7 ablation measures.
+	minipy.OpLoadLocalPair:     8,  // 2 × LOAD_LOCAL
+	minipy.OpLoadLocalConst:    8,  // LOAD_LOCAL + LOAD_CONST
+	minipy.OpBinaryJumpIfFalse: 27, // BINARY + JUMP_IF_FALSE
 }
 
 // CostParams configures the engine cost model. The zero value is not usable;

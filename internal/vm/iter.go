@@ -58,7 +58,7 @@ func (it *rangeIter) next() (minipy.Value, bool) {
 	} else if it.cur <= it.stop {
 		return nil, false
 	}
-	v := minipy.Int(it.cur)
+	v := minipy.IntValue(it.cur)
 	it.cur += it.step
 	return v, true
 }
@@ -75,8 +75,9 @@ func (it *strIter) next() (minipy.Value, bool) {
 	if it.i >= len(it.s) {
 		return nil, false
 	}
-	// MiniPy strings are byte strings; one-byte slices keep iteration cheap.
-	v := minipy.Str(it.s[it.i : it.i+1])
+	// MiniPy strings are byte strings; interned one-byte values keep
+	// iteration allocation-free.
+	v := minipy.Str1Value(it.s[it.i])
 	it.i++
 	return v, true
 }

@@ -11,6 +11,27 @@ import (
 // Runs on every OpBinary dispatch.
 // benchlint:hotpath
 func (in *Interp) binary(op minipy.BinOpCode, a, b minipy.Value) (minipy.Value, error) {
+	// int ⊙ int comparisons are the single hottest binary shape (every loop
+	// condition); compare inline instead of through the generic ValueLess /
+	// ValueEqual walks. Same results, host-level only.
+	if x, ok := a.(minipy.Int); ok {
+		if y, ok := b.(minipy.Int); ok {
+			switch op {
+			case minipy.BinEq:
+				return minipy.Bool(x == y), nil
+			case minipy.BinNe:
+				return minipy.Bool(x != y), nil
+			case minipy.BinLt:
+				return minipy.Bool(x < y), nil
+			case minipy.BinGt:
+				return minipy.Bool(x > y), nil
+			case minipy.BinLe:
+				return minipy.Bool(x <= y), nil
+			case minipy.BinGe:
+				return minipy.Bool(x >= y), nil
+			}
+		}
+	}
 	switch op {
 	case minipy.BinEq:
 		return minipy.Bool(minipy.ValueEqual(a, b)), nil
@@ -103,13 +124,17 @@ func (in *Interp) binary(op minipy.BinOpCode, a, b minipy.Value) (minipy.Value, 
 }
 
 func intBinary(op minipy.BinOpCode, x, y minipy.Int) (minipy.Value, error) {
+	// Results go through IntValue so small ints come from the interned
+	// table instead of a fresh box per operation. Interned and fresh boxes
+	// are indistinguishable to programs (interface equality compares the
+	// boxed value; MiniPy has no identity operator).
 	switch op {
 	case minipy.BinAdd:
-		return x + y, nil
+		return minipy.IntValue(int64(x + y)), nil
 	case minipy.BinSub:
-		return x - y, nil
+		return minipy.IntValue(int64(x - y)), nil
 	case minipy.BinMul:
-		return x * y, nil
+		return minipy.IntValue(int64(x * y)), nil
 	case minipy.BinDiv:
 		if y == 0 {
 			return nil, zeroDivErr()
@@ -119,17 +144,17 @@ func intBinary(op minipy.BinOpCode, x, y minipy.Int) (minipy.Value, error) {
 		if y == 0 {
 			return nil, zeroDivErr()
 		}
-		return minipy.Int(floorDivInt(int64(x), int64(y))), nil
+		return minipy.IntValue(minipy.FloorDivInt(int64(x), int64(y))), nil
 	case minipy.BinMod:
 		if y == 0 {
 			return nil, zeroDivErr()
 		}
-		return minipy.Int(pyModInt(int64(x), int64(y))), nil
+		return minipy.IntValue(minipy.PyModInt(int64(x), int64(y))), nil
 	case minipy.BinPow:
 		if y < 0 {
 			return minipy.Float(math.Pow(float64(x), float64(y))), nil
 		}
-		return minipy.Int(intPow(int64(x), int64(y))), nil
+		return minipy.IntValue(intPow(int64(x), int64(y))), nil
 	}
 	return nil, typeErr("unsupported int operation %s", op)
 }
@@ -165,24 +190,6 @@ func floatBinary(op minipy.BinOpCode, x, y float64) (minipy.Value, error) {
 		return minipy.Float(math.Pow(x, y)), nil
 	}
 	return nil, typeErr("unsupported float operation %s", op)
-}
-
-// floorDivInt implements Python's // for int operands.
-func floorDivInt(a, b int64) int64 {
-	q := a / b
-	if (a%b != 0) && ((a < 0) != (b < 0)) {
-		q--
-	}
-	return q
-}
-
-// pyModInt implements Python's % (result takes the divisor's sign).
-func pyModInt(a, b int64) int64 {
-	m := a % b
-	if m != 0 && (m < 0) != (b < 0) {
-		m += b
-	}
-	return m
 }
 
 func intPow(base, exp int64) int64 {
@@ -283,7 +290,7 @@ func (in *Interp) unary(op minipy.UnOpCode, v minipy.Value) (minipy.Value, error
 	case minipy.UnNeg:
 		switch v := v.(type) {
 		case minipy.Int:
-			return -v, nil
+			return minipy.IntValue(int64(-v)), nil
 		case minipy.Float:
 			return -v, nil
 		case minipy.Bool:
@@ -331,7 +338,7 @@ func (in *Interp) indexGet(target, index minipy.Value) (minipy.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		return t[i : i+1], nil
+		return minipy.Str1Value(t[i]), nil
 	case *minipy.Dict:
 		k, err := minipy.MakeKey(index)
 		if err != nil {

@@ -102,13 +102,133 @@ type Interp struct {
 	allocAddr uint64
 	depth     int
 	maxDepth  int
-	codeIDs   map[*minipy.Code]uint64
 
-	// Inline-cache (specializing interpreter) state: per-site execution
-	// counts, saturating at icWarmup.
-	icSites   map[*minipy.Code][]uint8
+	// Per-code-object interpreter state (stable id, simulated IC counters,
+	// host-level inline caches), resolved with one map lookup per frame
+	// entry and a one-entry hot cache in front for tight recursion.
+	codeStates map[*minipy.Code]*codeState
+	lastCode   *minipy.Code
+	lastState  *codeState
+
+	// gver is the version counter of the Globals namespace: bumped on every
+	// STORE_GLOBAL and at every external entry point (the exported Globals
+	// map may be mutated between calls). Global-load inline caches are valid
+	// only while their recorded version matches.
+	gver uint64
+	// aepoch is the class-layout epoch: bumped when any class gains or
+	// changes an attribute, invalidating every LOAD_ATTR method cache.
+	aepoch uint64
+
+	// Simulated inline-cache (specializing interpreter) parameters: per-site
+	// execution counts live in codeState.ic, saturating at icWarmup.
+	icEnabled bool
 	icWarmup  uint8
 	icDivisor uint32
+
+	// Frame pools: operand stacks and locals arrays are recycled LIFO
+	// across activations so steady-state frames allocate nothing. Purely a
+	// host-level optimization — simulated Allocations only counts alloc().
+	stackPool  [][]minipy.Value
+	localsPool [][]minipy.Value
+}
+
+// codeState is the per-invocation interpreter state of one code object. It
+// consolidates what used to be separate codeIDs and icSites maps (both
+// re-consulted on every frame entry) plus the Tier-A inline caches.
+type codeState struct {
+	// id builds stable branch-site addresses for the probe.
+	id uint64
+	// ic holds the simulated specializing-interpreter counters (nil unless
+	// CostParams.InlineCache).
+	ic []uint8
+	// globals caches LOAD_GLOBAL resolutions by name index, keyed on gver.
+	globals []gslot
+	// attrs caches LOAD_ATTR class-method resolutions by pc, keyed on
+	// aepoch (nil when the code has no LOAD_ATTR sites).
+	attrs []aslot
+}
+
+// gslot is a monomorphic global-load cache entry: the value the name
+// resolved to at Globals version ver.
+type gslot struct {
+	ver uint64
+	val minipy.Value
+}
+
+// state returns (creating on first use) the per-code interpreter state.
+func (in *Interp) state(code *minipy.Code) *codeState {
+	if in.lastCode == code {
+		return in.lastState
+	}
+	st, ok := in.codeStates[code]
+	if !ok {
+		if in.codeStates == nil {
+			in.codeStates = map[*minipy.Code]*codeState{}
+		}
+		st = &codeState{id: uint64(len(in.codeStates)+1) << 20}
+		if in.icEnabled {
+			st.ic = make([]uint8, len(code.Ops))
+		}
+		if len(code.Names) > 0 {
+			st.globals = make([]gslot, len(code.Names))
+		}
+		for _, ins := range code.Ops {
+			if ins.Op == minipy.OpLoadAttr {
+				st.attrs = make([]aslot, len(code.Ops))
+				break
+			}
+		}
+		in.codeStates[code] = st
+	}
+	in.lastCode, in.lastState = code, st
+	return st
+}
+
+// getStack takes an operand stack from the pool (or allocates one sized by
+// the code's verified high-water mark).
+func (in *Interp) getStack(hint int) []minipy.Value {
+	// The dispatch loop pushes by reslicing, never by append, so the
+	// returned capacity MUST be at least hint (the frame's stack bound).
+	// An undersized pooled stack is discarded rather than returned.
+	if n := len(in.stackPool); n > 0 {
+		s := in.stackPool[n-1]
+		in.stackPool = in.stackPool[:n-1]
+		if cap(s) >= hint {
+			return s
+		}
+	}
+	if hint < 16 {
+		hint = 16
+	}
+	return make([]minipy.Value, 0, hint)
+}
+
+// putStack clears and returns a stack to the pool. Clearing the full
+// capacity drops lingering Value references so pooling never extends
+// object lifetimes past the frame.
+func (in *Interp) putStack(s []minipy.Value) {
+	s = s[:cap(s)]
+	clear(s)
+	in.stackPool = append(in.stackPool, s[:0])
+}
+
+// getLocals takes an n-slot locals array from the pool, cleared to nil so
+// unassigned-local detection keeps working.
+func (in *Interp) getLocals(n int) []minipy.Value {
+	if m := len(in.localsPool); m > 0 {
+		s := in.localsPool[m-1]
+		in.localsPool = in.localsPool[:m-1]
+		if cap(s) >= n {
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	return make([]minipy.Value, n)
+}
+
+func (in *Interp) putLocals(s []minipy.Value) {
+	in.localsPool = append(in.localsPool, s[:0])
 }
 
 // New creates a fresh VM invocation.
@@ -142,13 +262,15 @@ func New(cfg Config) *Interp {
 		maxSteps:  maxSteps,
 		maxDepth:  maxDepth,
 		allocAddr: 0x10000, // leave a synthetic "low memory" hole
+		gver:      1,       // 0 means "never cached" in gslot entries
+		aepoch:    1,
 	}
 	in.builtins = builtinTable()
 	if cfg.Mode == ModeJIT {
 		in.jit = newJITState(cost)
 	}
 	if cost.InlineCache {
-		in.icSites = map[*minipy.Code][]uint8{}
+		in.icEnabled = true
 		in.icWarmup = cost.ICWarmup
 		if in.icWarmup == 0 {
 			in.icWarmup = 2
@@ -159,16 +281,6 @@ func New(cfg Config) *Interp {
 		}
 	}
 	return in
-}
-
-// icArray returns the per-site inline-cache counters for a code object.
-func (in *Interp) icArray(code *minipy.Code) []uint8 {
-	arr, ok := in.icSites[code]
-	if !ok {
-		arr = make([]uint8, len(code.Ops))
-		in.icSites[code] = arr
-	}
-	return arr
 }
 
 // Mode reports the engine mode of this invocation.
@@ -234,7 +346,17 @@ func (in *Interp) RunModule(code *minipy.Code) (minipy.Value, error) {
 	if !code.IsModule {
 		return nil, typeErr("RunModule requires module code")
 	}
+	in.invalidateCaches()
 	return in.runFrame(code, nil, nil)
+}
+
+// invalidateCaches bumps the inline-cache version counters. Called at every
+// external entry point: the exported Globals map (and any reachable Class)
+// may have been mutated directly between calls, which the in-VM bumps in
+// STORE_GLOBAL and setAttr cannot see.
+func (in *Interp) invalidateCaches() {
+	in.gver++
+	in.aepoch++
 }
 
 // RunSource compiles and runs MiniPy source.
@@ -252,6 +374,7 @@ func (in *Interp) CallGlobal(name string, args ...minipy.Value) (minipy.Value, e
 	if !ok {
 		return nil, nameErr("name '%s' is not defined", name)
 	}
+	in.invalidateCaches()
 	return in.call(fn, args)
 }
 
@@ -264,7 +387,7 @@ func (in *Interp) call(fn minipy.Value, args []minipy.Value) (minipy.Value, erro
 			return nil, typeErr("%s() takes %d arguments (%d given)",
 				code.Name, code.NumParams, len(args))
 		}
-		locals := make([]minipy.Value, len(code.LocalNames))
+		locals := in.getLocals(len(code.LocalNames))
 		copy(locals, args)
 		var cells []*minipy.Cell
 		if n := code.NumCells(); n > 0 {
@@ -274,12 +397,20 @@ func (in *Interp) call(fn minipy.Value, args []minipy.Value) (minipy.Value, erro
 			}
 			copy(cells[len(code.CellLocals):], fn.Free)
 		}
-		return in.runFrame(code, locals, cells)
+		ret, err := in.runFrame(code, locals, cells)
+		// Cells copy values out at creation and the frame is gone, so the
+		// locals array is dead here and safe to recycle.
+		in.putLocals(locals)
+		return ret, err
 	case *minipy.BoundMethod:
-		all := make([]minipy.Value, 0, len(args)+1)
-		all = append(all, fn.Recv)
-		all = append(all, args...)
-		return in.call(fn.Fn, all)
+		// fn.Fn is always a *Function, which copies args into its own
+		// locals, so the prepend buffer can be pooled too.
+		all := in.getLocals(len(args) + 1)
+		all[0] = fn.Recv
+		copy(all[1:], args)
+		ret, err := in.call(fn.Fn, all)
+		in.putLocals(all)
+		return ret, err
 	case *builtinFunc:
 		return fn.fn(in, args)
 	case *builtinMethod:
@@ -291,10 +422,12 @@ func (in *Interp) call(fn minipy.Value, args []minipy.Value) (minipy.Value, erro
 			if !ok {
 				return nil, typeErr("__init__ must be a function")
 			}
-			all := make([]minipy.Value, 0, len(args)+1)
-			all = append(all, inst)
-			all = append(all, args...)
-			if _, err := in.call(initFn, all); err != nil {
+			all := in.getLocals(len(args) + 1)
+			all[0] = inst
+			copy(all[1:], args)
+			_, err := in.call(initFn, all)
+			in.putLocals(all)
+			if err != nil {
 				return nil, err
 			}
 		} else if len(args) != 0 {

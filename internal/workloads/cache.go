@@ -62,6 +62,43 @@ func (c *CodeCache) Get(b Benchmark) (entry Compiled, hit bool, err error) {
 	return entry, false, nil
 }
 
+// GetOpt returns the compiled entry for b at bytecode-optimization level
+// opt (see minipy.Optimize). Level <= 0 is the plain entry. Optimized
+// entries are cached under a level-qualified key and share the base entry's
+// analysis summary — the summary describes the source program, which the
+// optimizer does not change observably. The base code object is never
+// mutated: every experiment arm holding a Compiled from Get still sees the
+// compiler's output.
+func (c *CodeCache) GetOpt(b Benchmark, opt int) (entry Compiled, hit bool, err error) {
+	if opt <= 0 {
+		return c.Get(b)
+	}
+	key := fmt.Sprintf("%s#opt%d", b.Name, opt)
+	c.mu.RLock()
+	entry, hit = c.entries[key]
+	c.mu.RUnlock()
+	if hit {
+		return entry, true, nil
+	}
+	base, _, err := c.Get(b)
+	if err != nil {
+		return Compiled{}, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if entry, hit = c.entries[key]; hit {
+		return entry, true, nil
+	}
+	facts := analysis.OptimizationFacts(base.Code)
+	oc, err := minipy.Optimize(base.Code, opt, facts)
+	if err != nil {
+		return Compiled{}, false, fmt.Errorf("workload %s: optimize level %d: %w", b.Name, opt, err)
+	}
+	entry = Compiled{Code: oc, Analysis: base.Analysis}
+	c.entries[key] = entry
+	return entry, false, nil
+}
+
 // Inventory returns the names of every cached benchmark, sorted. The copy
 // is taken under the read lock, so listing is safe while shards compile.
 func (c *CodeCache) Inventory() []string {

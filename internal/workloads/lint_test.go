@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/minipy"
 )
 
 // intentionalFindings pins analyzer findings in shipped workloads that are
@@ -51,6 +52,51 @@ func TestSuiteLintsClean(t *testing.T) {
 			sum := rep.Summarize()
 			if sum.TypedInstrPct <= 0 {
 				t.Errorf("type inference produced no typed instructions (%.2f%%)", sum.TypedInstrPct)
+			}
+		})
+	}
+}
+
+// TestSuiteLintsCleanOptimized re-runs the dogfood pass over every workload's
+// -opt 2 bytecode: the analyzer must decode superinstructions (CFG edges out
+// of BINARY_JUMP_IF_FALSE, fused-load uses in liveness and definite
+// assignment) and still certify the optimized stream. A fusion or folding
+// bug that confuses the dataflow passes fails here before it can distort an
+// A7 arm.
+func TestSuiteLintsCleanOptimized(t *testing.T) {
+	all := append(append([]Benchmark{}, Suite()...), Extended()...)
+	for _, b := range all {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			base, err := b.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			opt, err := minipy.Optimize(base, 2, analysis.OptimizationFacts(base))
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			rep, err := analysis.Analyze(opt)
+			if err != nil {
+				t.Fatalf("analyze optimized: %v", err)
+			}
+			for _, d := range rep.Diagnostics {
+				if d.Severity == analysis.Info {
+					continue
+				}
+				// The optimizer may only remove findings (dead stores are
+				// eliminated), never introduce them.
+				if intentionalFindings[b.Name][d.Rule] == 0 {
+					t.Errorf("optimized bytecode grew a finding: %s", d)
+				}
+			}
+			if !rep.Certificate.Certified {
+				t.Errorf("optimized code lost its determinism certificate: unresolved globals %v",
+					rep.Certificate.UnresolvedGlobals)
+			}
+			if sum := rep.Summarize(); sum.TypedInstrPct <= 0 {
+				t.Errorf("type inference over fused opcodes produced no typed instructions (%.2f%%)",
+					sum.TypedInstrPct)
 			}
 		})
 	}

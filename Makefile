@@ -8,7 +8,7 @@ GATEDIR ?= .gate
 GATE_BENCH = fib
 GATE_FLAGS = -bench $(GATE_BENCH) -invocations 6 -iterations 10 -seed 42 -noise quiet -json
 
-.PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline clean
+.PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline chaos-soak clean
 
 # Pinned configuration of the wall-clock VM microbenchmarks. BENCH_vm.json
 # is the committed pre-optimization baseline; bench-go compares a fresh run
@@ -78,11 +78,30 @@ bench-gate:
 		-candidate $(GATEDIR)/seq.json -equivalence
 	$(GO) run ./cmd/benchgate -baseline $(GATEDIR)/seq.json \
 		-candidate $(GATEDIR)/par.json -equivalence
+	$(GO) run ./cmd/pybench $(GATE_FLAGS) -isolate > $(GATEDIR)/iso.json
+	$(GO) run ./cmd/benchgate -baseline $(GATEDIR)/seq.json \
+		-candidate $(GATEDIR)/iso.json -equivalence
 	$(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
 		-candidate $(GATEDIR)/seq.json
 	! $(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
 		-candidate cmd/benchgate/testdata/slow20.json
 	rm -rf $(GATEDIR)
+
+# chaos-soak runs the crash-only invariant over a pinned seed matrix: one
+# fault family per seed (worker kills / torn+corrupt journal writes /
+# stalled children), each at 1 and 4 worker shards, every round interrupted
+# by deliberate supervisor crashes with resume-from-journal. benchchaos
+# exits non-zero the moment a merged sample set differs from the fault-free
+# reference run, so this target is a hard CI gate, not a statistics check.
+CHAOS_FLAGS = -bench fib -invocations 8 -iterations 5 -retries 8 -watchdog 2s
+
+chaos-soak:
+	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 42 -faults 'kill=0.35' -crashes 2 -workers 1
+	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 42 -faults 'kill=0.35' -crashes 2 -workers 4
+	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 43 -faults 'torn=0.3,badrecord=0.15,enospc=0.05' -crashes 3 -workers 1
+	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 43 -faults 'torn=0.3,badrecord=0.15,enospc=0.05' -crashes 3 -workers 4
+	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 44 -faults 'stall=0.25' -crashes 2 -workers 1
+	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 44 -faults 'stall=0.25' -crashes 2 -workers 4
 
 clean:
 	$(GO) clean ./...

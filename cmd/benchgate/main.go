@@ -17,8 +17,9 @@
 // invocation — the property the sharded runner guarantees against the
 // sequential runner at equal seeds.
 //
-// Exit codes: 0 = pass; 1 = regression (or equivalence mismatch);
-// 2 = usage or I/O error.
+// Exit codes follow the repository taxonomy: 0 = pass; 1 = regression (or
+// equivalence mismatch); 2 = usage (bad flags, incomparable inputs);
+// 3 = infrastructure (unreadable or undecodable result files).
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/exitcode"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
@@ -60,12 +62,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	base, err := readResult(*basePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchgate:", err)
-		return 2
+		return exitcode.Infra
 	}
 	cand, err := readResult(*candPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchgate:", err)
-		return 2
+		return exitcode.Infra
 	}
 	if base.Benchmark != cand.Benchmark || base.Mode != cand.Mode {
 		fmt.Fprintf(stderr, "benchgate: results are not comparable: baseline is %s/%s, candidate is %s/%s\n",

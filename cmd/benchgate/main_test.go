@@ -91,8 +91,10 @@ func TestMissingFlagsUsageError(t *testing.T) {
 	if code, _, _ := gate(t, "-baseline", baselineFixture); code != 2 {
 		t.Fatalf("missing -candidate exited %d, want 2", code)
 	}
-	if code, _, _ := gate(t, "-candidate", baselineFixture, "-baseline", "testdata/nonexistent.json"); code != 2 {
-		t.Fatalf("unreadable baseline exited %d, want 2", code)
+	// Unreadable input is an infrastructure failure (3), not usage: the
+	// flags were fine, the environment was not.
+	if code, _, _ := gate(t, "-candidate", baselineFixture, "-baseline", "testdata/nonexistent.json"); code != 3 {
+		t.Fatalf("unreadable baseline exited %d, want 3", code)
 	}
 }
 

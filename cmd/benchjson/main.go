@@ -13,6 +13,9 @@
 // host-dependent, so the compare mode is informational by default; -require
 // NAME:PCT entries turn specific improvements into hard gates (exit 1 when
 // the named benchmark improved by less than PCT percent vs. the baseline).
+//
+// Exit codes follow the repository taxonomy: 0 = pass; 1 = a -require gate
+// failed; 2 = usage; 3 = unreadable/unwritable input or output.
 package main
 
 import (
@@ -25,6 +28,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"repro/internal/exitcode"
 )
 
 // Entry is one benchmark measurement.
@@ -69,16 +74,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	doc, err := parse(stdin)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
-		return 2
+		return exitcode.Infra
 	}
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines found on input")
-		return 2
+		return exitcode.Infra
 	}
 	if *outPath != "" {
 		if err := writeDoc(doc, *outPath, stdout); err != nil {
 			fmt.Fprintln(stderr, "benchjson:", err)
-			return 2
+			return exitcode.Infra
 		}
 	}
 	if *basePath == "" {
@@ -86,19 +91,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			// No baseline and no -out: emit the document to stdout.
 			if err := writeDoc(doc, "-", stdout); err != nil {
 				fmt.Fprintln(stderr, "benchjson:", err)
-				return 2
+				return exitcode.Infra
 			}
 		}
 		if len(requires) > 0 {
 			fmt.Fprintln(stderr, "benchjson: -require needs -baseline")
-			return 2
+			return exitcode.Usage
 		}
-		return 0
+		return exitcode.OK
 	}
 	base, err := readDoc(*basePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
-		return 2
+		return exitcode.Infra
 	}
 	return compare(base, doc, requires, stdout, stderr)
 }

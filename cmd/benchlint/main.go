@@ -20,8 +20,9 @@
 //	benchlint ./cmd ./internal ./examples
 //
 // Arguments are files or directories (walked recursively; testdata and
-// hidden directories and _test.go files are skipped). Exit status is 1
-// if any finding is reported, 2 on usage or parse errors.
+// hidden directories and _test.go files are skipped). Exit status follows
+// the repository taxonomy: 1 if any finding is reported, 2 on usage
+// errors, 3 when a file cannot be read or parsed.
 package main
 
 import (
@@ -31,12 +32,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/exitcode"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchlint <file-or-dir> ...")
-		os.Exit(2)
+		os.Exit(exitcode.Usage)
 	}
 	fset := token.NewFileSet()
 	var all []Finding
@@ -44,18 +47,18 @@ func main() {
 		files, err := collectGoFiles(arg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
-			os.Exit(2)
+			os.Exit(exitcode.Infra)
 		}
 		for _, path := range files {
 			src, err := os.ReadFile(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
-				os.Exit(2)
+				os.Exit(exitcode.Infra)
 			}
 			fs, err := lintFile(fset, path, src)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchlint: %v\n", err)
-				os.Exit(2)
+				os.Exit(exitcode.Infra)
 			}
 			all = append(all, fs...)
 		}
@@ -65,7 +68,7 @@ func main() {
 	}
 	if len(all) > 0 {
 		fmt.Fprintf(os.Stderr, "benchlint: %d finding(s)\n", len(all))
-		os.Exit(1)
+		os.Exit(exitcode.Finding)
 	}
 }
 

@@ -21,6 +21,11 @@
 // interrupted run picks up where it left off, skipping completed
 // invocations; the same seed always reproduces the same fault schedule.
 //
+// Crash-isolation knobs: -isolate runs every invocation attempt in a
+// watchdogged worker subprocess (a crash or hang costs one attempt, never
+// the campaign; the sample set is bit-identical to in-process execution);
+// -watchdog bounds each attempt's wall time before the child is killed.
+//
 // Observability knobs: -trace FILE writes a Chrome trace-event timeline
 // (open in Perfetto or chrome://tracing); -metrics collects harness
 // self-telemetry (timer calibration, GC interference, retry/cache
@@ -28,9 +33,13 @@
 // key); -profile prints a per-line cost attribution, and -collapsed FILE
 // additionally writes folded call stacks for flamegraph tools; -version
 // prints the producer identification stamped into emitted artifacts.
+//
+// Exit codes: 0 = success; 1 = finding (-lint diagnostics); 2 = usage;
+// 3 = infrastructure failure; 4 = run degraded below quorum.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +48,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/exitcode"
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/methodology"
@@ -55,6 +65,17 @@ import (
 )
 
 func main() {
+	// The hidden re-exec mode: `pybench -worker` turns this process into a
+	// protocol server executing invocation orders from a supervising
+	// pybench over stdin/stdout. Handled before flag parsing so it never
+	// appears in -help — it is plumbing, not interface.
+	if len(os.Args) == 2 && os.Args[1] == "-worker" {
+		if err := harness.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pybench -worker:", err)
+			os.Exit(exitcode.Infra)
+		}
+		return
+	}
 	var (
 		list        = flag.Bool("list", false, "list benchmarks and experiment ids")
 		exp         = flag.String("exp", "", "experiment id (T1..T5, F1..F8, A1..A7) or 'all'")
@@ -82,6 +103,8 @@ func main() {
 		workers     = flag.Int("workers", 1, "worker shards for -bench/-suite/-exp invocation execution (1 = sequential; the sample set is identical either way)")
 		parPolicy   = flag.String("parallel-policy", "guard", "interference-guard policy for -workers > 1: guard (flag contention), fallback (revert to sequential), force (skip probes)")
 		optLevel    = flag.Int("opt", 0, "bytecode-optimization level for -bench/-dis: 0 = off, 1 = peephole, 2 = +superinstructions (changes the simulated opcode stream; a distinct experiment arm, see ablation A7)")
+		isolate     = flag.Bool("isolate", false, "run each invocation attempt in a watchdogged worker subprocess (crash isolation; the sample set is bit-identical to in-process execution)")
+		watchdog    = flag.Duration("watchdog", 0, "with -isolate: per-attempt deadline before a hung worker is killed (0 = 30s default)")
 		showVersion = flag.Bool("version", false, "print version, Go version, and platform, then exit")
 	)
 	flag.Usage = usage
@@ -93,20 +116,20 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "pybench: unexpected argument %q\n\n", flag.Arg(0))
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitcode.Usage)
 	}
 
 	np, err := noiseByName(*noiseName)
 	if err != nil {
-		fatal(err)
+		fatal(usageError{err})
 	}
 	fp, err := faults.Parse(*faultsSpec)
 	if err != nil {
-		fatal(err)
+		fatal(usageError{err})
 	}
 	policy, err := harness.ParseParallelPolicy(*parPolicy)
 	if err != nil {
-		fatal(err)
+		fatal(usageError{err})
 	}
 	if *resume != "" {
 		if err := os.MkdirAll(*resume, 0o755); err != nil {
@@ -125,6 +148,10 @@ func main() {
 		CheckpointDir:  *resume,
 		Workers:        *workers,
 		ParallelPolicy: policy,
+		Isolation: harness.IsolationOptions{
+			Enabled:  *isolate,
+			Watchdog: *watchdog,
+		},
 	}
 
 	style := renderText
@@ -171,9 +198,16 @@ func main() {
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitcode.Usage)
 	}
 }
+
+// usageError marks a bad-input failure (exit 2 in the taxonomy).
+type usageError struct{ error }
+
+// findingError marks a successful run that surfaced gated findings
+// (exit 1 in the taxonomy) — -lint diagnostics, not tool failures.
+type findingError struct{ error }
 
 // usage is the custom flag.Usage: flags plus the benchmark inventory, so a
 // mistyped invocation tells the user what they can actually run.
@@ -201,8 +235,8 @@ func benchmarkNames() []string {
 // unknownBenchmark builds the error for a benchmark name that resolves to
 // nothing: non-zero exit with the full inventory, not a bare print.
 func unknownBenchmark(name string) error {
-	return fmt.Errorf("unknown benchmark %q; available: %s (run 'pybench -list' for descriptions)",
-		name, strings.Join(benchmarkNames(), ", "))
+	return usageError{fmt.Errorf("unknown benchmark %q; available: %s (run 'pybench -list' for descriptions)",
+		name, strings.Join(benchmarkNames(), ", "))}
 }
 
 // renderStyle selects the table output format.
@@ -304,6 +338,7 @@ func supervisorOptions(cfg core.Config) harness.SupervisorOptions {
 		Quorum:     cfg.Quorum,
 		Faults:     cfg.Faults,
 		FaultSeed:  cfg.FaultSeed,
+		Isolation:  cfg.Isolation,
 	}
 }
 
@@ -339,9 +374,9 @@ func doSuite(cfg core.Config, style renderStyle, o *observability) error {
 		if cfg.Supervised() {
 			so := supervisorOptions(cfg)
 			if cfg.CheckpointDir != "" {
-				so.Checkpoint = harness.FileCheckpoint{
-					Path: filepath.Join(cfg.CheckpointDir, wl.Name+".ckpt.json"),
-				}
+				// The base store; RunPairParallel derives one journal per arm.
+				so.Checkpoint = harness.NewJournalCheckpoint(
+					filepath.Join(cfg.CheckpointDir, wl.Name+".ckpt.wal"))
 			}
 			interp, jit, err = harness.NewSupervisor(runner, so).RunPairParallel(wl, opts, po)
 		} else {
@@ -387,9 +422,22 @@ func doSuite(cfg core.Config, style renderStyle, o *observability) error {
 	return nil
 }
 
+// fatal prints the error and exits with its taxonomy code: usage errors
+// exit 2, gated findings 1, a run degraded below quorum 4, and everything
+// else — I/O, environment, subprocess plumbing — 3 (infrastructure).
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pybench:", err)
-	os.Exit(1)
+	var ue usageError
+	var fe findingError
+	switch {
+	case errors.As(err, &ue):
+		os.Exit(exitcode.Usage)
+	case errors.As(err, &fe):
+		os.Exit(exitcode.Finding)
+	case errors.Is(err, harness.ErrQuorum):
+		os.Exit(exitcode.Degraded)
+	}
+	os.Exit(exitcode.Infra)
 }
 
 func noiseByName(name string) (noise.Params, error) {
@@ -453,7 +501,7 @@ func doBench(name, modeName string, cfg core.Config, opt int, jsonOut bool, o *o
 	case "jit":
 		mode = vm.ModeJIT
 	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+		return usageError{fmt.Errorf("unknown mode %q", modeName)}
 	}
 	inv, iter := cfg.Invocations, cfg.Iterations
 	if inv == 0 {
@@ -472,7 +520,7 @@ func doBench(name, modeName string, cfg core.Config, opt int, jsonOut bool, o *o
 	}
 	so := supervisorOptions(cfg)
 	if cfg.CheckpointDir != "" {
-		so.Checkpoint = harness.FileCheckpointFor(cfg.CheckpointDir, b.Name, mode)
+		so.Checkpoint = harness.JournalCheckpointFor(cfg.CheckpointDir, b.Name, mode)
 	}
 	// Supervision with the zero policy is free (byte-identical to the bare
 	// Runner), so -bench always runs supervised and always reports its
@@ -578,7 +626,7 @@ func doLint(style renderStyle) error {
 	t.Caption = "typed % = reachable instructions whose operand types the lattice resolved."
 	emit(t, style)
 	if findings > 0 {
-		return fmt.Errorf("%d finding(s) across the workload suite", findings)
+		return findingError{fmt.Errorf("%d finding(s) across the workload suite", findings)}
 	}
 	return nil
 }

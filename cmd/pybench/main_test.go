@@ -129,7 +129,7 @@ func TestDoBenchSupervisedWithFaults(t *testing.T) {
 			t.Errorf("supervised -bench output missing %q:\n%s", want, out)
 		}
 	}
-	matches, err := filepath.Glob(filepath.Join(dir, "*.ckpt.json"))
+	matches, err := filepath.Glob(filepath.Join(dir, "*.ckpt.wal"))
 	if err != nil || len(matches) == 0 {
 		t.Fatalf("no checkpoint written to %s (err %v)", dir, err)
 	}

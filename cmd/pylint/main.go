@@ -12,8 +12,9 @@
 //	pylint -strict prog.py         # warnings also fail (exit 1)
 //	pylint -cfg prog.py            # additionally dump each function's CFG
 //
-// Exit status: 0 clean, 1 findings (errors; with -strict also warnings),
-// 2 usage or read failure. Diagnostics are positioned:
+// Exit status follows the repository taxonomy: 0 clean, 1 findings
+// (errors; with -strict also warnings), 2 usage, 3 unreadable input.
+// Diagnostics are positioned:
 //
 //	prog.py: f:3: error[use-before-def]: variable "x" is used before any assignment
 package main
@@ -24,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/exitcode"
 	"repro/internal/minipy"
 	"repro/internal/workloads"
 )
@@ -57,19 +59,19 @@ func main() {
 		b, ok := workloads.ByName(*benchName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "pylint: unknown benchmark %q\n", *benchName)
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		targets = append(targets, target{b.Name, b.Source})
 	default:
 		if flag.NArg() == 0 {
 			flag.Usage()
-			os.Exit(2)
+			os.Exit(exitcode.Usage)
 		}
 		for _, path := range flag.Args() {
 			data, err := os.ReadFile(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pylint: %v\n", err)
-				os.Exit(2)
+				os.Exit(exitcode.Infra)
 			}
 			targets = append(targets, target{path, string(data)})
 		}
@@ -82,7 +84,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		os.Exit(exitcode.Finding)
 	}
 }
 

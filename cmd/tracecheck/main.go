@@ -1,7 +1,8 @@
 // Command tracecheck validates that a file is schema-valid Chrome
 // trace-event JSON as emitted by pybench -trace. It exits 0 and reports the
-// event count on success, non-zero with a diagnostic otherwise; `make
-// bench-smoke` uses it to prove the emitted trace actually parses.
+// event count on success; `make bench-smoke` uses it to prove the emitted
+// trace actually parses. Exit codes follow the repository taxonomy:
+// 1 = a file failed validation, 2 = usage, 3 = a file could not be read.
 //
 // Usage:
 //
@@ -12,31 +13,35 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/exitcode"
 	"repro/internal/trace"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE [FILE...]")
-		os.Exit(2)
+		os.Exit(exitcode.Usage)
 	}
-	failed := false
+	unreadable, invalid := false, false
 	for _, path := range os.Args[1:] {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracecheck:", err)
-			failed = true
+			unreadable = true
 			continue
 		}
 		n, err := trace.Validate(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
-			failed = true
+			invalid = true
 			continue
 		}
 		fmt.Printf("%s: ok (%d events)\n", path, n)
 	}
-	if failed {
-		os.Exit(1)
+	switch {
+	case unreadable:
+		os.Exit(exitcode.Infra)
+	case invalid:
+		os.Exit(exitcode.Finding)
 	}
 }

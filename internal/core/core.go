@@ -52,9 +52,13 @@ type Config struct {
 	Faults faults.Params
 	// FaultSeed seeds the fault schedule (0 = the experiment seed).
 	FaultSeed uint64
-	// CheckpointDir, when set, persists per-experiment progress there so
-	// interrupted runs resume without re-running completed invocations.
+	// CheckpointDir, when set, persists per-experiment progress there (as
+	// crash-safe write-ahead journals) so interrupted runs resume without
+	// re-running completed invocations.
 	CheckpointDir string
+	// Isolation shells invocation attempts out to watchdogged worker
+	// subprocesses (zero value = in-process execution).
+	Isolation harness.IsolationOptions
 
 	// Workers > 1 fans invocations out across that many shards. The sample
 	// set is identical to the sequential run by construction (see
@@ -67,7 +71,8 @@ type Config struct {
 
 // Supervised reports whether any supervision policy is configured.
 func (c Config) Supervised() bool {
-	return c.Retries > 0 || c.Quorum > 0 || c.Faults.Enabled() || c.CheckpointDir != ""
+	return c.Retries > 0 || c.Quorum > 0 || c.Faults.Enabled() ||
+		c.CheckpointDir != "" || c.Isolation.Enabled
 }
 
 func (c Config) withDefaults() Config {
@@ -150,9 +155,10 @@ func (e *Engine) supervisorFor(bench string, mode vm.Mode) *harness.Supervisor {
 		Quorum:     e.cfg.Quorum,
 		Faults:     e.cfg.Faults,
 		FaultSeed:  e.cfg.FaultSeed,
+		Isolation:  e.cfg.Isolation,
 	}
 	if e.cfg.CheckpointDir != "" {
-		so.Checkpoint = harness.FileCheckpointFor(e.cfg.CheckpointDir, bench, mode)
+		so.Checkpoint = harness.JournalCheckpointFor(e.cfg.CheckpointDir, bench, mode)
 	}
 	return harness.NewSupervisor(e.runner, so)
 }

@@ -42,6 +42,30 @@ const (
 	// CompileError fails the invocation before it starts (transient
 	// toolchain or filesystem flake analogue).
 	CompileError
+
+	// The kinds below are *environment* faults: they attack the process
+	// and storage substrate around the VM rather than the VM itself, and
+	// are realized by the subprocess executor (kill, stall) and the
+	// journal's injectable filesystem (torn, badrecord, enospc). They are
+	// appended after the original kinds so every pre-existing fault
+	// schedule — a pure function of the cumulative probability order —
+	// replays unchanged when their probabilities are zero.
+
+	// ChildKill SIGKILLs (or exits) the worker subprocess mid-invocation,
+	// the failure no in-VM budget can catch. In-process execution
+	// degrades it to a panic.
+	ChildKill
+	// Stall freezes the worker subprocess until the supervisor's watchdog
+	// reaps it. In-process execution degrades it to a wall-budget hang.
+	Stall
+	// TornWrite truncates a journal append partway through (power-loss
+	// analogue); recovery must treat the tail as garbage.
+	TornWrite
+	// BadRecord flips bytes inside an already-written journal record
+	// (storage corruption analogue); recovery must detect and report it.
+	BadRecord
+	// DiskFull fails a journal write with an ENOSPC-style error.
+	DiskFull
 )
 
 func (k Kind) String() string {
@@ -58,6 +82,16 @@ func (k Kind) String() string {
 		return "checksum"
 	case CompileError:
 		return "compile"
+	case ChildKill:
+		return "kill"
+	case Stall:
+		return "stall"
+	case TornWrite:
+		return "torn"
+	case BadRecord:
+		return "badrecord"
+	case DiskFull:
+		return "enospc"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -79,17 +113,54 @@ type Params struct {
 	// CompileErrProb is the per-attempt probability of a transient
 	// compile-stage failure.
 	CompileErrProb float64
+	// KillProb is the per-attempt probability the worker subprocess is
+	// killed mid-invocation (environment fault).
+	KillProb float64 `json:",omitempty"`
+	// StallProb is the per-attempt probability the worker subprocess
+	// stalls until the watchdog reaps it (environment fault).
+	StallProb float64 `json:",omitempty"`
+	// TornWriteProb is the per-append probability a journal write is torn
+	// partway through (environment fault).
+	TornWriteProb float64 `json:",omitempty"`
+	// BadRecordProb is the per-append probability a journal record is
+	// corrupted after landing (environment fault).
+	BadRecordProb float64 `json:",omitempty"`
+	// DiskFullProb is the per-append probability a journal write fails
+	// with ENOSPC (environment fault).
+	DiskFullProb float64 `json:",omitempty"`
 }
 
 // Enabled reports whether any fault has a non-zero probability.
-func (p Params) Enabled() bool {
-	return p.PanicProb > 0 || p.HangProb > 0 || p.CorruptProb > 0 ||
-		p.ChecksumProb > 0 || p.CompileErrProb > 0
-}
+func (p Params) Enabled() bool { return p.Total() > 0 }
 
 // Total returns the combined per-attempt fault probability (uncapped).
 func (p Params) Total() float64 {
-	return p.PanicProb + p.HangProb + p.CorruptProb + p.ChecksumProb + p.CompileErrProb
+	total := 0.0
+	pp := p
+	for _, f := range kindFields {
+		total += *f.get(&pp)
+	}
+	return total
+}
+
+// VM restricts the model to the invocation-level kinds the supervisor's
+// injector draws (panic, hang, corrupt, checksum, compile, kill, stall);
+// storage kinds are drawn per journal append by the ChaosFS instead, so
+// one spec string configures both layers without double-drawing.
+func (p Params) VM() Params {
+	p.TornWriteProb, p.BadRecordProb, p.DiskFullProb = 0, 0, 0
+	return p
+}
+
+// Storage restricts the model to the journal-append kinds (torn,
+// badrecord, enospc) the ChaosFS realizes.
+func (p Params) Storage() Params {
+	keep := Params{
+		TornWriteProb: p.TornWriteProb,
+		BadRecordProb: p.BadRecordProb,
+		DiskFullProb:  p.DiskFullProb,
+	}
+	return keep
 }
 
 // NoFaults returns the zero model (nothing injected).
@@ -119,6 +190,20 @@ func Heavy() Params {
 	}
 }
 
+// Chaos returns the environment-fault soak model cmd/benchchaos defaults
+// to: frequent child kills, stalls, and storage damage, with the original
+// VM faults mixed in at Light rates. Everything is survivable, so a soak
+// under Chaos must still converge to the fault-free sample set.
+func Chaos() Params {
+	p := Light()
+	p.KillProb = 0.10
+	p.StallProb = 0.05
+	p.TornWriteProb = 0.08
+	p.BadRecordProb = 0.04
+	p.DiskFullProb = 0.04
+	return p
+}
+
 // kindFields maps spec keys to Params fields, in evaluation order.
 var kindFields = []struct {
 	key string
@@ -129,11 +214,16 @@ var kindFields = []struct {
 	{"corrupt", func(p *Params) *float64 { return &p.CorruptProb }},
 	{"checksum", func(p *Params) *float64 { return &p.ChecksumProb }},
 	{"compile", func(p *Params) *float64 { return &p.CompileErrProb }},
+	{"kill", func(p *Params) *float64 { return &p.KillProb }},
+	{"stall", func(p *Params) *float64 { return &p.StallProb }},
+	{"torn", func(p *Params) *float64 { return &p.TornWriteProb }},
+	{"badrecord", func(p *Params) *float64 { return &p.BadRecordProb }},
+	{"enospc", func(p *Params) *float64 { return &p.DiskFullProb }},
 }
 
 // Parse builds Params from a CLI spec: a preset name ("none", "light",
-// "heavy") or a comma-separated list of kind=probability pairs, e.g.
-// "panic=0.2,hang=0.05". Probabilities must lie in [0, 1].
+// "heavy", "chaos") or a comma-separated list of kind=probability pairs,
+// e.g. "panic=0.2,kill=0.1". Probabilities must lie in [0, 1].
 func Parse(spec string) (Params, error) {
 	switch strings.TrimSpace(spec) {
 	case "", "none":
@@ -142,6 +232,8 @@ func Parse(spec string) (Params, error) {
 		return Light(), nil
 	case "heavy":
 		return Heavy(), nil
+	case "chaos":
+		return Chaos(), nil
 	}
 	var p Params
 	for _, part := range strings.Split(spec, ",") {
@@ -222,6 +314,11 @@ type Injector struct {
 func NewInjector(p Params, seed uint64) *Injector {
 	return &Injector{p: p, seed: seed}
 }
+
+// Seed returns the injector's schedule seed, so cooperating machinery (the
+// supervisor's backoff jitter, a ChaosFS under the journal) can derive
+// further deterministic streams from the same campaign seed.
+func (inj *Injector) Seed() uint64 { return inj.seed }
 
 // Params returns the injector's fault model.
 func (inj *Injector) Params() Params { return inj.p }

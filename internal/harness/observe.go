@@ -39,6 +39,13 @@ const (
 	mCheckpointSaves = "harness_checkpoint_saves_total"
 	mResumes         = "harness_checkpoint_resumes_total"
 
+	// Crash-safety and isolation telemetry.
+	mCheckpointErrors   = "harness_checkpoint_errors_total"
+	mJournalRecoveries  = "harness_journal_recoveries_total"
+	mWorkerSpawns       = "harness_worker_spawns_total"
+	mWorkerKills        = "harness_worker_kills_total"
+	mIsolationFallbacks = "harness_isolation_fallbacks_total"
+
 	// Parallel sharded-runner telemetry.
 	mParallelRuns      = "harness_parallel_runs_total"
 	mWorkers           = "harness_parallel_workers"

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -10,10 +11,23 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/faults"
 	"repro/internal/minipy"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vm"
+	"repro/internal/wal"
 	"repro/internal/workloads"
 )
+
+// ErrQuorum marks the degraded-below-quorum failure: the campaign ran to
+// completion but too few invocations survived. The CLI taxonomy maps it to
+// exit code 4 (degraded), distinct from infrastructure failures.
+var ErrQuorum = errors.New("quorum not met")
+
+// ErrCrashPoint is returned when a deliberate crash point (see
+// SupervisorOptions.CrashAfter) fired. The campaign's journal is left
+// exactly as a kill -9 at that moment would leave it; a rerun with the
+// same checkpoint store resumes from it.
+var ErrCrashPoint = errors.New("deliberate crash point reached")
 
 // InvocationStatus classifies how one supervised invocation ended.
 type InvocationStatus string
@@ -81,6 +95,26 @@ type Supervision struct {
 	// ResumedFrom is the invocation index execution resumed at after a
 	// checkpoint restore (0 = fresh run).
 	ResumedFrom int `json:",omitempty"`
+	// Isolation records the execution substrate: "subprocess" when worker
+	// children executed the invocations, "in-process" otherwise, or an
+	// "in-process (isolation fallback: ...)" note when subprocess
+	// isolation was requested but unavailable.
+	Isolation string `json:",omitempty"`
+	// WorkerKills counts child processes that died mid-attempt — watchdog
+	// SIGKILLs of hung children plus crashes (injected or genuine).
+	WorkerKills int `json:",omitempty"`
+	// WorkerRestarts counts replacement children spawned after a death.
+	WorkerRestarts int `json:",omitempty"`
+	// CheckpointErrors counts failed checkpoint/journal writes. The
+	// campaign keeps running — losing durability must not lose the
+	// in-flight work — but resume coverage is degraded and the run says so.
+	CheckpointErrors int `json:",omitempty"`
+	// CheckpointError is the first failure's description.
+	CheckpointError string `json:",omitempty"`
+	// Journal is the write-ahead journal's recovery report when the run
+	// resumed from a journal-backed checkpoint: how many records were
+	// intact, and whether a torn tail or corruption was repaired.
+	Journal *wal.RecoveryReport `json:",omitempty"`
 	// Log is the per-invocation attempt history.
 	Log []InvocationLog
 }
@@ -88,10 +122,12 @@ type Supervision struct {
 // EffectiveN is the number of invocations that contributed samples.
 func (s *Supervision) EffectiveN() int { return s.Clean + s.Recovered }
 
-// Degraded reports whether the experiment lost any work: dropped
-// invocations, retried invocations, or quarantined samples.
+// Degraded reports whether the experiment lost any work or durability:
+// dropped invocations, retried invocations, quarantined samples, failed
+// checkpoint writes, or journal damage repaired on resume.
 func (s *Supervision) Degraded() bool {
-	return s.Dropped > 0 || s.Recovered > 0 || s.QuarantinedSamples > 0
+	return s.Dropped > 0 || s.Recovered > 0 || s.QuarantinedSamples > 0 ||
+		s.CheckpointErrors > 0 || (s.Journal != nil && !s.Journal.Clean())
 }
 
 // Summary renders a one-line human-readable account, suitable as a table
@@ -103,6 +139,18 @@ func (s *Supervision) Summary() string {
 		s.Attempts, s.Retries, s.InjectedFaults, s.QuarantinedSamples, s.Quorum)
 	if s.ResumedFrom > 0 {
 		msg += fmt.Sprintf("; resumed at invocation %d", s.ResumedFrom)
+	}
+	if s.Isolation != "" && s.Isolation != "in-process" {
+		msg += "; isolation: " + s.Isolation
+		if s.WorkerKills > 0 || s.WorkerRestarts > 0 {
+			msg += fmt.Sprintf(" (%d worker kill(s), %d restart(s))", s.WorkerKills, s.WorkerRestarts)
+		}
+	}
+	if s.CheckpointErrors > 0 {
+		msg += fmt.Sprintf("; %d checkpoint write(s) failed (%s)", s.CheckpointErrors, s.CheckpointError)
+	}
+	if s.Journal != nil && !s.Journal.Clean() {
+		msg += "; " + s.Journal.String()
 	}
 	return msg
 }
@@ -121,27 +169,67 @@ type SupervisorOptions struct {
 	// FaultSeed seeds the fault schedule; 0 means use Options.Seed, so a
 	// fault run is reproducible from the experiment seed alone.
 	FaultSeed uint64
-	// BackoffBase is the deterministic retry backoff base; attempt k
-	// schedules BackoffBase << k. Defaults to 100ms. Backoff is recorded
-	// in the attempt log and only actually slept when RealBackoff is set,
+	// BackoffBase is the retry backoff base; attempt k schedules an
+	// exponential envelope BackoffBase << k (capped at BackoffMax) scaled
+	// by deterministic equal jitter drawn from the campaign RNG — a pure
+	// function of (fault seed, invocation, attempt), so retry schedules
+	// replay bit-identically. Defaults to 100ms. Backoff is recorded in
+	// the attempt log and only actually slept when RealBackoff is set,
 	// keeping simulated experiments instant and deterministic.
 	BackoffBase time.Duration
+	// BackoffMax caps the exponential envelope (default 5s).
+	BackoffMax time.Duration
 	// RealBackoff makes the supervisor actually sleep its backoff.
 	RealBackoff bool
 	// Checkpoint, when non-nil, persists progress after every invocation
 	// so an interrupted experiment resumes without re-running completed
-	// work.
+	// work. A store that also implements slotAppender (JournalCheckpoint)
+	// gets incremental write-ahead appends instead of full rewrites.
 	Checkpoint CheckpointStore
+	// Isolation shells invocation attempts out to watchdogged worker
+	// child processes (see IsolationOptions).
+	Isolation IsolationOptions
+	// CrashAfter, when > 0, makes the supervisor return ErrCrashPoint
+	// after that many slot completions — a deliberate crash point for
+	// chaos testing resume-from-journal behaviour. 0 disables it.
+	CrashAfter int
 }
 
 func (so SupervisorOptions) withDefaults() SupervisorOptions {
 	if so.BackoffBase <= 0 {
 		so.BackoffBase = 100 * time.Millisecond
 	}
+	if so.BackoffMax <= 0 {
+		so.BackoffMax = 5 * time.Second
+	}
 	if so.MaxRetries < 0 {
 		so.MaxRetries = 0
 	}
+	so.Isolation = so.Isolation.withDefaults()
 	return so
+}
+
+// backoffSalt offsets the backoff jitter stream from the fault-schedule
+// stream sharing the same seed.
+const backoffSalt = 0xB0FF
+
+// jitterBackoff computes the deterministic jittered backoff before the
+// next attempt: an exponential envelope base<<attempt capped at max, then
+// scaled into [1/2, 1] of itself by a uniform draw keyed on (seed,
+// invocation, attempt) — "equal jitter". Retries across invocations
+// desynchronize (no thundering herd against a contended host) while every
+// schedule stays a replayable pure function of the campaign seed.
+func jitterBackoff(base, max time.Duration, seed uint64, invIdx, attempt int) time.Duration {
+	d := base
+	for k := 0; k < attempt && d < max; k++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	id := uint64(invIdx)*0x1000003 + uint64(attempt) + backoffSalt
+	u := stats.NewRNG(seed).Split(id).Float64()
+	return time.Duration(float64(d) * (0.5 + 0.5*u))
 }
 
 // Supervisor wraps a Runner with crash isolation, per-invocation budgets,
@@ -156,6 +244,24 @@ type Supervisor struct {
 // NewSupervisor wraps a runner with the given policy.
 func NewSupervisor(r *Runner, opts SupervisorOptions) *Supervisor {
 	return &Supervisor{r: r, opts: opts.withDefaults()}
+}
+
+// newExecutor picks the execution substrate for one run. A failure to set
+// up subprocess isolation degrades to in-process execution with the reason
+// recorded — lack of isolation must never kill a campaign.
+func (s *Supervisor) newExecutor(workers int) invocationExecutor {
+	if !s.opts.Isolation.Enabled {
+		return &inProcExecutor{r: s.r, note: "in-process"}
+	}
+	exec, err := newSubprocExecutor(s.r, s.opts.Isolation, workers)
+	if err != nil {
+		s.r.obs.Trace.Instant(trace.CatSupervisor, "isolation-fallback", "reason", err.Error())
+		s.r.obs.Metrics.Counter(mIsolationFallbacks,
+			"campaigns degraded from subprocess to in-process execution").Inc()
+		return &inProcExecutor{r: s.r,
+			note: "in-process (isolation fallback: " + err.Error() + ")"}
+	}
+	return exec
 }
 
 // experimentSalt derives a per-(benchmark, mode) fault-seed offset (FNV-1a
@@ -212,11 +318,22 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options,
 	// campaign seed still draw independent fault fates (the same
 	// discipline benchSeed applies to noise streams).
 	faultSeed ^= experimentSalt(b.Name, opts.Mode)
-	inj := faults.NewInjector(s.opts.Faults, faultSeed)
+	// The injector draws only the invocation-level kinds; storage kinds
+	// (torn/badrecord/enospc) are realized per journal append by a
+	// ChaosFS under the checkpoint store, not per invocation.
+	inj := faults.NewInjector(s.opts.Faults.VM(), faultSeed)
 	quorum := s.opts.Quorum
 	if quorum <= 0 || quorum > opts.Invocations {
 		quorum = opts.Invocations
 	}
+
+	// The execution substrate: in-process, or watchdogged worker children
+	// when isolation is on (with permanent in-process fallback when
+	// re-exec is unavailable). The sample set is bit-identical either
+	// way — invocations are pure functions of (seed, invocation id) — so
+	// the choice never enters the checkpoint key.
+	exec := s.newExecutor(po.Workers)
+	defer exec.close()
 
 	var par *Parallelism
 	parallel := po.Workers > 1
@@ -240,10 +357,23 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options,
 	key := checkpointKey(b, opts, s.opts, faultSeed)
 	slots := make([]*slotRecord, opts.Invocations)
 	resumed := 0
+	var journalRep *wal.RecoveryReport
 	if ckpt != nil {
 		restored, err := loadCheckpoint(ckpt, key)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+		}
+		// A journal-backed store reports what recovery found: torn tails
+		// and corrupt records are repaired, never silently trusted, and the
+		// result carries the report.
+		if rr, ok := ckpt.(recoveryReporter); ok {
+			journalRep = rr.RecoveryReport()
+			if journalRep != nil && !journalRep.Clean() {
+				obs.Trace.Instant(trace.CatSupervisor, "journal-recovered",
+					"benchmark", b.Name, "report", journalRep.String())
+				obs.Metrics.Counter(mJournalRecoveries,
+					"journals repaired (torn tail or corrupt records) on open").Inc()
+			}
 		}
 		for idx, slot := range restored {
 			if idx < 0 || idx >= opts.Invocations {
@@ -267,12 +397,20 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options,
 		}
 	}
 
-	// completeSlot records one freshly-run slot and checkpoints the new
-	// completed set. ckptMu guards the slots table against concurrent
-	// shards: each checkpoint snapshot reads every completed slot, so the
-	// per-index writes must synchronize with it.
+	// completeSlot records one freshly-run slot and checkpoints it. ckptMu
+	// guards the slots table against concurrent shards: each checkpoint
+	// snapshot reads every completed slot, so the per-index writes must
+	// synchronize with it. A journal-backed store gets an incremental
+	// write-ahead append instead of a full rewrite. Checkpoint failures
+	// (ENOSPC, injected storage faults) are survived, not fatal: losing
+	// durability must not lose the in-flight work — the run degrades and
+	// says so in Supervision.
 	var ckptMu sync.Mutex
-	var ckptErr error
+	var ckptErrs int
+	var ckptFirstErr string
+	var completed int
+	crashed := false
+	appender, incremental := ckpt.(slotAppender)
 	completeSlot := func(idx int, slot slotRecord) {
 		if slot.Log.Status == StatusDropped {
 			obs.Trace.Instant(trace.CatSupervisor, "invocation-dropped",
@@ -282,53 +420,89 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options,
 		ckptMu.Lock()
 		defer ckptMu.Unlock()
 		slots[idx] = &slot
+		completed++
+		if s.opts.CrashAfter > 0 && completed >= s.opts.CrashAfter {
+			crashed = true
+		}
 		if ckpt == nil {
 			return
 		}
-		done := make([]slotRecord, 0, opts.Invocations)
-		for _, sl := range slots {
-			if sl != nil {
-				done = append(done, *sl)
+		var err error
+		if incremental {
+			err = appender.AppendSlot(key, slot)
+		} else {
+			done := make([]slotRecord, 0, opts.Invocations)
+			for _, sl := range slots {
+				if sl != nil {
+					done = append(done, *sl)
+				}
 			}
+			err = saveCheckpoint(ckpt, key, done)
 		}
-		if err := saveCheckpoint(ckpt, key, done); err != nil {
-			if ckptErr == nil {
-				ckptErr = err
+		if err != nil {
+			ckptErrs++
+			if ckptFirstErr == "" {
+				ckptFirstErr = err.Error()
 			}
+			obs.Trace.Instant(trace.CatSupervisor, "checkpoint-error",
+				"invocation", strconv.Itoa(idx), "error", err.Error())
+			obs.Metrics.Counter(mCheckpointErrors,
+				"checkpoint/journal writes that failed (run continued)").Inc()
 			return
 		}
 		obs.Trace.Instant(trace.CatSupervisor, "checkpoint-save",
 			"invocation", strconv.Itoa(idx))
 		obs.Metrics.Counter(mCheckpointSaves, "checkpoint snapshots written").Inc()
 	}
+	// crashedNow lets shards observe a fired crash point without racing
+	// the accounting above.
+	crashedNow := func() bool {
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		return crashed
+	}
 
 	if parallel {
 		obs.Metrics.Counter(mParallelRuns, "experiments executed by the sharded runner").Inc()
 		s.r.shardPool(len(pending), po.Workers, func(shard, j int) {
+			if crashedNow() {
+				return
+			}
 			idx := pending[j]
-			completeSlot(idx, s.superviseOne(b, code, opts, idx, inj,
+			completeSlot(idx, s.superviseOne(exec, b, code, opts, idx, inj,
 				"worker", strconv.Itoa(shard)))
 		})
 	} else {
 		for _, idx := range pending {
-			completeSlot(idx, s.superviseOne(b, code, opts, idx, inj))
+			if crashedNow() {
+				break
+			}
+			completeSlot(idx, s.superviseOne(exec, b, code, opts, idx, inj))
 		}
 	}
-	if ckptErr != nil {
-		return nil, fmt.Errorf("harness: %s: checkpointing: %w", b.Name, ckptErr)
+	if crashedNow() {
+		// Stop abruptly: no checkpoint finalization, no cleanup beyond what
+		// a kill -9 would perform. The journal on disk is the only survivor.
+		return nil, fmt.Errorf("harness: %s/%s: %w after %d slot completion(s)",
+			b.Name, opts.Mode, ErrCrashPoint, s.opts.CrashAfter)
 	}
 
 	res := assembleSupervised(b, opts, summary, s.opts, faultSeed, quorum, slots, resumed)
 	res.Parallelism = par
-	s.r.snapshotMetrics(res)
 
 	sup := res.Supervision
+	sup.Isolation = exec.describe()
+	sup.WorkerKills, sup.WorkerRestarts = exec.stats()
+	sup.CheckpointErrors = ckptErrs
+	sup.CheckpointError = ckptFirstErr
+	sup.Journal = journalRep
+	s.r.snapshotMetrics(res)
 	if sup.EffectiveN() < quorum {
 		// The partial result is returned alongside the error so callers
 		// can still report *how* the experiment degraded.
 		return res, fmt.Errorf(
-			"harness: %s/%s: quorum not met: %d of %d invocations succeeded (need %d; %d dropped after %d retries)",
-			b.Name, opts.Mode, sup.EffectiveN(), sup.Planned, quorum, sup.Dropped, sup.Retries)
+			"harness: %s/%s: %w: %d of %d invocations succeeded (need %d; %d dropped after %d retries)",
+			b.Name, opts.Mode, ErrQuorum, sup.EffectiveN(), sup.Planned, quorum, sup.Dropped, sup.Retries)
 	}
 	return res, nil
 }
@@ -382,8 +556,8 @@ func assembleSupervised(b workloads.Benchmark, opts Options, summary *analysis.S
 // returns its complete record. It mutates no shared experiment state, so
 // shards run it concurrently; all side effects go through the
 // concurrency-safe observability sinks.
-func (s *Supervisor) superviseOne(b workloads.Benchmark, code *minipy.Code,
-	opts Options, invIdx int, inj *faults.Injector, spanKV ...string) slotRecord {
+func (s *Supervisor) superviseOne(exec invocationExecutor, b workloads.Benchmark,
+	code *minipy.Code, opts Options, invIdx int, inj *faults.Injector, spanKV ...string) slotRecord {
 	obs := s.r.obs
 	slot := slotRecord{Index: invIdx, Log: InvocationLog{Index: invIdx, Status: StatusDropped}}
 	for attempt := 0; attempt <= s.opts.MaxRetries; attempt++ {
@@ -402,7 +576,7 @@ func (s *Supervisor) superviseOne(b workloads.Benchmark, code *minipy.Code,
 				"attempt", strconv.Itoa(attempt))
 			obs.Metrics.Counter(mFaultsInjected, "faults injected into attempts").Inc()
 		}
-		inv, err := s.attempt(code, opts, invIdx, attempt, fault, spanKV...)
+		inv, err := s.attempt(exec, b, code, opts, invIdx, attempt, fault, spanKV...)
 		if err == nil {
 			var quarantined int
 			quarantined, err = validateSamples(inv)
@@ -428,7 +602,8 @@ func (s *Supervisor) superviseOne(b workloads.Benchmark, code *minipy.Code,
 			"benchmark", b.Name, "invocation", strconv.Itoa(invIdx),
 			"attempt", strconv.Itoa(attempt), "error", err.Error())
 		if attempt < s.opts.MaxRetries {
-			backoff := s.opts.BackoffBase << uint(attempt)
+			backoff := jitterBackoff(s.opts.BackoffBase, s.opts.BackoffMax,
+				inj.Seed(), invIdx, attempt)
 			rec.BackoffMs = backoff.Milliseconds()
 			if s.opts.RealBackoff {
 				time.Sleep(backoff)
@@ -439,10 +614,13 @@ func (s *Supervisor) superviseOne(b workloads.Benchmark, code *minipy.Code,
 	return slot
 }
 
-// attempt runs a single isolated invocation attempt. Panics — injected or
-// genuine engine bugs — are recovered and converted into ordinary attempt
-// failures, so one bad invocation can never take the campaign down.
-func (s *Supervisor) attempt(code *minipy.Code, opts Options, invIdx, attempt int,
+// attempt runs a single isolated invocation attempt through the executor.
+// Panics — injected or genuine engine bugs — are recovered and converted
+// into ordinary attempt failures, so one bad invocation can never take the
+// campaign down (a child-process crash never even reaches this process;
+// the executor reports it as an error).
+func (s *Supervisor) attempt(exec invocationExecutor, b workloads.Benchmark,
+	code *minipy.Code, opts Options, invIdx, attempt int,
 	fault faults.Fault, spanKV ...string) (inv *Invocation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -464,9 +642,17 @@ func (s *Supervisor) attempt(code *minipy.Code, opts Options, invIdx, attempt in
 		// must fire, simulating a hung invocation being reaped.
 		o := opts
 		o.MaxStepsPerInvocation = hangBudgetSteps
-		return s.r.runInvocation(code, o, noiseIdx, spanKV...)
+		return exec.run(b, code, o, noiseIdx, workerSabotage{}, spanKV...)
+	case faults.ChildKill:
+		// The child dies abruptly mid-attempt (in-process: the attempt is
+		// aborted with the same fate).
+		return exec.run(b, code, opts, noiseIdx, workerSabotage{Exit: true}, spanKV...)
+	case faults.Stall:
+		// The child livelocks until the watchdog reaps it (in-process:
+		// degraded to the budget-guard hang realization).
+		return exec.run(b, code, opts, noiseIdx, workerSabotage{Stall: true}, spanKV...)
 	}
-	inv, err = s.r.runInvocation(code, opts, noiseIdx, spanKV...)
+	inv, err = exec.run(b, code, opts, noiseIdx, workerSabotage{}, spanKV...)
 	if err != nil {
 		return nil, err
 	}

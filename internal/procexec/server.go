@@ -1,0 +1,40 @@
+package procexec
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// helloPayload is the first frame a worker sends: a fixed magic plus the
+// protocol version. The supervisor refuses to talk to anything else, so a
+// misconfigured command (one that prints a usage banner, say) degrades
+// cleanly instead of being misparsed as results.
+func helloPayload() []byte {
+	return []byte(fmt.Sprintf("procexec/1 pid=%d", os.Getpid()))
+}
+
+// helloPrefix is the part of the handshake the client verifies.
+const helloPrefix = "procexec/1 "
+
+// Serve runs the worker side of the protocol: it sends the handshake, then
+// answers request frames with handle's response until the supervisor
+// closes stdin (clean EOF → nil). handle must not panic; a handler that
+// needs crash semantics should encode them in its response payload.
+func Serve(r io.Reader, w io.Writer, handle func(req []byte) []byte) error {
+	if err := WriteFrame(w, helloPayload()); err != nil {
+		return fmt.Errorf("procexec: handshake: %w", err)
+	}
+	for {
+		req, err := ReadFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("procexec: reading request: %w", err)
+		}
+		if err := WriteFrame(w, handle(req)); err != nil {
+			return fmt.Errorf("procexec: writing response: %w", err)
+		}
+	}
+}

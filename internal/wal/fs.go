@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem surface the journal writes through. It exists so the
+// chaos harness can inject storage failures — torn writes, ENOSPC,
+// corrupted bytes — underneath an unmodified journal implementation: the
+// recovery code is exercised against exactly the write path production
+// uses, not a parallel test double.
+type FS interface {
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Create truncates or creates path for writing.
+	Create(path string) (File, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path (no error if absent is acceptable to callers).
+	Remove(path string) error
+}
+
+// File is the writable handle FS hands out. Sync must flush to stable
+// storage — the journal's durability claims are exactly as strong as Sync.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// OSFS is the production FS backed by the real operating system.
+type OSFS struct{}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }

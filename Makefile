@@ -1,6 +1,7 @@
 GO ?= go
 SMOKEDIR ?= .smoke
 GATEDIR ?= .gate
+TRACKDIR ?= .track
 # Pinned configuration of the committed perf-gate baseline
 # (cmd/benchgate/testdata/baseline.json). Regenerating the baseline and
 # gating a candidate must use the exact same knobs, or the comparison is
@@ -8,7 +9,7 @@ GATEDIR ?= .gate
 GATE_BENCH = fib
 GATE_FLAGS = -bench $(GATE_BENCH) -invocations 6 -iterations 10 -seed 42 -noise quiet -json
 
-.PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline chaos-soak clean
+.PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline bench-track chaos-soak clean
 
 # Pinned configuration of the wall-clock VM microbenchmarks. BENCH_vm.json
 # is the committed pre-optimization baseline; bench-go compares a fresh run
@@ -87,6 +88,33 @@ bench-gate:
 		-candidate cmd/benchgate/testdata/slow20.json
 	rm -rf $(GATEDIR)
 
+# bench-track exercises the longitudinal tracking pipeline end to end on a
+# scratch copy of the committed history (the committed BENCH_history.jsonl
+# is an anchor, never mutated by CI):
+#   1. a fresh run of the pinned-seed experiment is ingested — simulated
+#      times are host-independent, so it extends the committed series with
+#      an identical value and the trend stays flat;
+#   2. `benchtrack report` fails the target on any fresh (unacknowledged)
+#      regression alert; the JSON trend report is written first so CI can
+#      upload it as an artifact even when the gate fails;
+#   3. benchgate cross-references the longitudinal trend next to its
+#      two-snapshot verdict.
+bench-track:
+	rm -rf $(TRACKDIR) && mkdir -p $(TRACKDIR)
+	cp BENCH_history.jsonl $(TRACKDIR)/history.jsonl
+	$(GO) run ./cmd/pybench $(GATE_FLAGS) > $(TRACKDIR)/run.json
+	$(GO) run ./cmd/benchtrack ingest -history $(TRACKDIR)/history.jsonl \
+		$(TRACKDIR)/run.json
+	-$(GO) run ./cmd/benchtrack report -history $(TRACKDIR)/history.jsonl \
+		-json > $(TRACKDIR)/trend.json
+	$(GO) run ./cmd/benchtrack report -history $(TRACKDIR)/history.jsonl \
+		-trace $(TRACKDIR)/track.trace.json -metrics
+	$(GO) run ./cmd/tracecheck $(TRACKDIR)/track.trace.json
+	$(GO) run ./cmd/benchtrack summary -history $(TRACKDIR)/history.jsonl \
+		-bench $(GATE_BENCH)
+	$(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
+		-candidate $(TRACKDIR)/run.json -history $(TRACKDIR)/history.jsonl
+
 # chaos-soak runs the crash-only invariant over a pinned seed matrix: one
 # fault family per seed (worker kills / torn+corrupt journal writes /
 # stalled children), each at 1 and 4 worker shards, every round interrupted
@@ -105,4 +133,4 @@ chaos-soak:
 
 clean:
 	$(GO) clean ./...
-	rm -rf $(SMOKEDIR) $(GATEDIR)
+	rm -rf $(SMOKEDIR) $(GATEDIR) $(TRACKDIR)

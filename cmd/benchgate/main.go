@@ -30,7 +30,9 @@ import (
 
 	"repro/internal/exitcode"
 	"repro/internal/harness"
+	"repro/internal/perfstore"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -50,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		minEffect   = fs.Float64("min-effect", stats.DefaultGateMinEffect, "minimum relative slowdown treated as a regression (negative = none)")
 		resamples   = fs.Int("resamples", 0, "bootstrap resamples (0 = library default)")
 		seed        = fs.Uint64("seed", 1, "bootstrap RNG seed (the gate decision is deterministic per seed)")
+		histPath    = fs.String("history", "", "benchtrack history (BENCH_history.jsonl): print the longitudinal trend next to the verdict")
+		trendLast   = fs.Int("trend-last", 10, "trend window (runs) for the -history summary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,14 +79,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var code int
 	if *equivalence {
-		return runEquivalence(base, cand, stdout, stderr)
+		code = runEquivalence(base, cand, stdout, stderr)
+	} else {
+		code = runGate(base, cand, stats.GateThresholds{
+			Confidence: *confidence,
+			MinEffect:  *minEffect,
+			Resamples:  *resamples,
+		}, *seed, stdout, stderr)
 	}
-	return runGate(base, cand, stats.GateThresholds{
-		Confidence: *confidence,
-		MinEffect:  *minEffect,
-		Resamples:  *resamples,
-	}, *seed, stdout, stderr)
+	// The two-snapshot verdict and the trajectory view cross-reference each
+	// other: a PASS here can still sit on a slow multi-run drift, and a
+	// FAIL is easier to triage next to the commit-attributed history.
+	if *histPath != "" {
+		printTrend(*histPath, base.Benchmark, *trendLast, stdout, stderr)
+	}
+	return code
+}
+
+// printTrend prints benchtrack's one-line longitudinal summary for the
+// gated benchmark. Trend problems never change the gate verdict — the
+// trajectory alert lives in `benchtrack report` — so failures here only
+// warn.
+func printTrend(histPath, benchmark string, lastN int, stdout, stderr io.Writer) {
+	store, err := perfstore.Open(wal.OSFS{}, histPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate: trend unavailable:", err)
+		return
+	}
+	defer store.Close()
+	line := perfstore.TrendLine(store.Runs(), store.Acked(), benchmark, lastN)
+	if line == "" {
+		fmt.Fprintf(stdout, "benchgate: no longitudinal history for %s in %s\n", benchmark, histPath)
+		return
+	}
+	fmt.Fprintf(stdout, "benchgate: %s\n", line)
 }
 
 func readResult(path string) (*harness.Result, error) {

@@ -14,6 +14,11 @@
 // NAME:PCT entries turn specific improvements into hard gates (exit 1 when
 // the named benchmark improved by less than PCT percent vs. the baseline).
 //
+// Emitted documents carry a provenance block (commit SHA, branch, Go
+// version, UTC timestamp — override with -commit/-branch, drop with
+// -no-stamp) so cmd/benchtrack can attribute every measurement to the
+// commit range it landed in without side-channel flags.
+//
 // Exit codes follow the repository taxonomy: 0 = pass; 1 = a -require gate
 // failed; 2 = usage; 3 = unreadable/unwritable input or output.
 package main
@@ -25,9 +30,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/exitcode"
 )
@@ -41,12 +49,20 @@ type Entry struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// Doc is the JSON document benchjson writes.
+// Doc is the JSON document benchjson writes. The provenance block (commit,
+// branch, go_version, time_utc) is stamped on emission so cmd/benchtrack
+// can attribute the measurements to a commit without side-channel flags;
+// readers tolerate docs that predate the stamp.
 type Doc struct {
-	Goos       string  `json:"goos,omitempty"`
-	Goarch     string  `json:"goarch,omitempty"`
-	Pkg        string  `json:"pkg,omitempty"`
-	CPU        string  `json:"cpu,omitempty"`
+	Goos      string `json:"goos,omitempty"`
+	Goarch    string `json:"goarch,omitempty"`
+	Pkg       string `json:"pkg,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	Commit    string `json:"commit,omitempty"`
+	Branch    string `json:"branch,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	TimeUTC   string `json:"time_utc,omitempty"`
+
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
@@ -65,6 +81,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		outPath  = fs.String("out", "", "write the parsed JSON document to this file ('-' = stdout)")
 		basePath = fs.String("baseline", "", "compare against this baseline JSON document")
+		commit   = fs.String("commit", "", "commit SHA to stamp into the document (default: git rev-parse HEAD)")
+		branch   = fs.String("branch", "", "branch name to stamp (default: git rev-parse --abbrev-ref HEAD)")
+		noStamp  = fs.Bool("no-stamp", false, "omit the provenance block (commit/branch/go version/time)")
 		requires requireList
 	)
 	fs.Var(&requires, "require", "NAME:PCT — fail unless NAME improved by at least PCT% vs. the baseline (repeatable)")
@@ -79,6 +98,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(doc.Benchmarks) == 0 {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines found on input")
 		return exitcode.Infra
+	}
+	if !*noStamp {
+		stampProvenance(doc, *commit, *branch)
 	}
 	if *outPath != "" {
 		if err := writeDoc(doc, *outPath, stdout); err != nil {
@@ -124,6 +146,32 @@ func (r *requireList) Set(s string) error {
 	}
 	*r = append(*r, requirement{name: s[:i], pct: pct})
 	return nil
+}
+
+// stampProvenance fills the attribution block benchtrack relies on.
+// Explicit flags win; otherwise commit and branch come from git. A missing
+// git (exported tree, bare container) degrades attribution, never the
+// document: the fields are simply left empty.
+func stampProvenance(doc *Doc, commit, branch string) {
+	if commit == "" {
+		commit = gitOutput("rev-parse", "HEAD")
+	}
+	if branch == "" {
+		branch = gitOutput("rev-parse", "--abbrev-ref", "HEAD")
+	}
+	doc.Commit = commit
+	doc.Branch = branch
+	doc.GoVersion = runtime.Version()
+	doc.TimeUTC = time.Now().UTC().Format(time.RFC3339) //benchlint:allow clock
+}
+
+// gitOutput shells out to git, returning "" when git or the repo is absent.
+func gitOutput(args ...string) string {
+	out, err := exec.Command("git", args...).Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // benchLine matches e.g.

@@ -86,3 +86,41 @@ func TestRequireFlagParsing(t *testing.T) {
 		t.Error("expected error for missing colon")
 	}
 }
+
+func TestStampProvenance(t *testing.T) {
+	var out, errB bytes.Buffer
+	code := run([]string{"-commit", "abc123", "-branch", "perf-work"},
+		strings.NewReader(sampleOutput), &out, &errB)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errB.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, `"commit": "abc123"`) || !strings.Contains(s, `"branch": "perf-work"`) {
+		t.Errorf("provenance flags not stamped:\n%s", s)
+	}
+	if !strings.Contains(s, `"go_version": "go`) || !strings.Contains(s, `"time_utc": "`) {
+		t.Errorf("go version / timestamp not stamped:\n%s", s)
+	}
+}
+
+func TestNoStampOmitsProvenance(t *testing.T) {
+	var out, errB bytes.Buffer
+	code := run([]string{"-no-stamp"}, strings.NewReader(sampleOutput), &out, &errB)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errB.String())
+	}
+	if strings.Contains(out.String(), `"commit"`) || strings.Contains(out.String(), `"time_utc"`) {
+		t.Errorf("-no-stamp leaked provenance:\n%s", out.String())
+	}
+}
+
+// A baseline written before the provenance stamp existed must still load
+// and compare (the committed BENCH_vm.json predates the stamp).
+func TestCompareToleratesUnstampedBaseline(t *testing.T) {
+	base := &Doc{Benchmarks: []Entry{{Name: "BenchmarkDispatchArith", NsPerOp: 1000}}}
+	cand := &Doc{Commit: "abc", Benchmarks: []Entry{{Name: "BenchmarkDispatchArith", NsPerOp: 900}}}
+	var out, errB bytes.Buffer
+	if code := compare(base, cand, nil, &out, &errB); code != 0 {
+		t.Fatalf("exit %d: %s", code, errB.String())
+	}
+}

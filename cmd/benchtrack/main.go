@@ -1,0 +1,403 @@
+// Command benchtrack is the longitudinal perf observability tool: it grows
+// a committed, crash-safe history of benchmark runs (BENCH_history.jsonl)
+// and scans every benchmark × host-class series for level shifts with the
+// repository's own PELT changepoint machinery, attributing each shift to
+// the commit range it landed in. Where cmd/benchgate answers "is this
+// snapshot slower than that one?", benchtrack answers "when did we get
+// slower, and which commits did it?" — CI memory instead of a single
+// golden baseline.
+//
+// Usage:
+//
+//	benchtrack ingest  -history BENCH_history.jsonl run.json [more.json...]
+//	benchtrack report  -history BENCH_history.jsonl [-json] [-last N]
+//	benchtrack ack     -history BENCH_history.jsonl [-note TEXT] <alert-id>...
+//	benchtrack summary -history BENCH_history.jsonl [-bench NAME] [-last N]
+//
+// ingest accepts both snapshot shapes the toolchain emits: benchjson docs
+// (BENCH_vm.json — wall-clock microkernels, partitioned per host class)
+// and `pybench -bench NAME -json` results (pinned-seed experiments, whose
+// simulated times are host-independent and share one fleet-wide series,
+// stored as Kalibera–Jones point estimates with CIs). Provenance comes
+// from the document when benchjson stamped it, from -commit/-branch/-at
+// flags, or from git as a last resort.
+//
+// report renders the trend table (sparkline history per series), the
+// commit-attributed changepoint list, and the alert states: a *fresh*
+// unacknowledged regression exits 1 (the repository finding code) so a CI
+// job fails until the alert is either fixed or accepted with
+// `benchtrack ack <id>`, which appends the acknowledgement to the history
+// itself — the alert state travels with the data.
+//
+// Exit codes follow the repository taxonomy: 0 = pass; 1 = fresh
+// regression alert; 2 = usage; 3 = unreadable input or history.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/exitcode"
+	"repro/internal/metrics"
+	"repro/internal/perfstore"
+	"repro/internal/trace"
+	"repro/internal/version"
+	"repro/internal/wal"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and an exit code, so tests drive the
+// whole CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return exitcode.Usage
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ingest":
+		return runIngest(rest, stdout, stderr)
+	case "report":
+		return runReport(rest, stdout, stderr)
+	case "ack":
+		return runAck(rest, stdout, stderr)
+	case "summary":
+		return runSummary(rest, stdout, stderr)
+	case "-version", "version":
+		fmt.Fprintln(stdout, version.String())
+		return exitcode.OK
+	default:
+		fmt.Fprintf(stderr, "benchtrack: unknown command %q\n", cmd)
+		usage(stderr)
+		return exitcode.Usage
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  benchtrack ingest  -history FILE [-commit SHA] [-branch NAME] [-at RFC3339] snapshot.json...
+  benchtrack report  -history FILE [-json] [-last N] [-min-delta PCT] [-trace FILE] [-metrics]
+  benchtrack ack     -history FILE [-note TEXT] <alert-id>...
+  benchtrack summary -history FILE [-bench NAME] [-last N]
+`)
+}
+
+// observability bundles the optional sinks every subcommand wires up.
+type observability struct {
+	tracer    *trace.Tracer
+	reg       *metrics.Registry
+	tracePath string
+	metricsOn bool
+}
+
+func observe(fs *flag.FlagSet) *observability {
+	o := &observability{}
+	fs.StringVar(&o.tracePath, "trace", "", "write ingest/alert instant events as Chrome trace JSON to this file")
+	fs.BoolVar(&o.metricsOn, "metrics", false, "print the benchtrack telemetry snapshot after the command")
+	return o
+}
+
+// start instantiates the sinks after flag parsing (nil sinks cost nothing).
+func (o *observability) start() {
+	if o.tracePath != "" {
+		o.tracer = trace.New()
+		o.tracer.SetMeta("producer", version.Producer())
+		o.tracer.SetMeta("tool", "benchtrack")
+	}
+	if o.metricsOn {
+		o.reg = metrics.NewRegistry()
+	}
+}
+
+// finish flushes the sinks. Returns false on an infrastructure failure.
+func (o *observability) finish(stdout, stderr io.Writer) bool {
+	if o.reg != nil {
+		if err := o.reg.Snapshot().WriteText(stdout); err != nil {
+			fmt.Fprintln(stderr, "benchtrack: writing metrics:", err)
+			return false
+		}
+	}
+	if o.tracer != nil {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchtrack: creating trace file:", err)
+			return false
+		}
+		defer f.Close()
+		if err := o.tracer.Export(f); err != nil {
+			fmt.Fprintln(stderr, "benchtrack: writing trace:", err)
+			return false
+		}
+	}
+	return true
+}
+
+// gaugeTrends publishes the trend-summary instruments every invocation
+// refreshes: history size, series count, and the alert split.
+func gaugeTrends(reg *metrics.Registry, rep perfstore.TrendReport) {
+	reg.Gauge("benchtrack_history_runs", "run records in the history").Set(float64(rep.Runs))
+	reg.Gauge("benchtrack_series", "benchmark × host-class series tracked").Set(float64(len(rep.Series)))
+	reg.Gauge("benchtrack_changepoints", "changepoints detected across all series").Set(float64(len(rep.Changepoints)))
+	reg.Gauge("benchtrack_alerts_fresh", "fresh unacknowledged regression alerts").Set(float64(rep.FreshRegressions))
+	reg.Gauge("benchtrack_alerts_acked", "acknowledged changepoints").Set(float64(rep.AckedChangepoints))
+}
+
+func openStore(path string, stderr io.Writer) (*perfstore.Store, int) {
+	store, err := perfstore.Open(wal.OSFS{}, path)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchtrack:", err)
+		return nil, exitcode.Infra
+	}
+	if rec := store.Recovery(); !rec.Clean() {
+		fmt.Fprintf(stderr, "benchtrack: history recovered: %s\n", rec)
+	}
+	return store, exitcode.OK
+}
+
+func runIngest(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtrack ingest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		histPath   = fs.String("history", "BENCH_history.jsonl", "history journal to append to")
+		commit     = fs.String("commit", "", "commit SHA to attribute this run to (default: snapshot stamp, then git rev-parse HEAD)")
+		branch     = fs.String("branch", "", "branch name (default: snapshot stamp, then git)")
+		at         = fs.String("at", "", "RFC3339 UTC timestamp of the run (default: snapshot stamp, then now)")
+		confidence = fs.Float64("confidence", 0.95, "CI level for pinned-seed experiment point estimates")
+	)
+	obs := observe(fs)
+	if err := fs.Parse(args); err != nil {
+		return exitcode.Usage
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "benchtrack: ingest needs at least one snapshot file")
+		return exitcode.Usage
+	}
+	var atTime time.Time
+	if *at != "" {
+		t, err := time.Parse(time.RFC3339, *at)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtrack: bad -at %q: %v\n", *at, err)
+			return exitcode.Usage
+		}
+		atTime = t.UTC()
+	}
+	obs.start()
+	store, code := openStore(*histPath, stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	defer store.Close()
+
+	ingested := obs.reg.Counter("benchtrack_ingested_runs_total", "run records appended by ingest")
+	points := obs.reg.Counter("benchtrack_ingested_points_total", "benchmark points appended by ingest")
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchtrack:", err)
+			return exitcode.Infra
+		}
+		rec, err := perfstore.ParseSnapshot(data, *confidence)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchtrack: %s: %v\n", path, err)
+			return exitcode.Infra
+		}
+		fillProvenance(&rec, *commit, *branch, atTime)
+		if err := store.Append(rec); err != nil {
+			fmt.Fprintln(stderr, "benchtrack:", err)
+			return exitcode.Infra
+		}
+		ingested.Inc()
+		points.Add(uint64(len(rec.Points)))
+		obs.tracer.Instant(trace.CatTrack, "ingest",
+			"file", path, "source", rec.Source, "commit", rec.ShortCommit(),
+			"points", fmt.Sprint(len(rec.Points)))
+		fmt.Fprintf(stdout, "benchtrack: ingested %s: %d point(s) from %s at %s (%s)\n",
+			path, len(rec.Points), rec.Source, rec.ShortCommit(), rec.Host.Key())
+	}
+	rep := perfstore.Analyze(store.Runs(), store.Acked(), perfstore.AnalyzeOptions{})
+	gaugeTrends(obs.reg, rep)
+	if !obs.finish(stdout, stderr) {
+		return exitcode.Infra
+	}
+	return exitcode.OK
+}
+
+// fillProvenance resolves the attribution fields by priority: explicit
+// flag, then the snapshot's own stamp, then git, then (for time) the wall
+// clock. Missing provenance degrades attribution, never ingestion.
+func fillProvenance(rec *perfstore.Record, commit, branch string, at time.Time) {
+	if commit != "" {
+		rec.Commit = commit
+	}
+	if branch != "" {
+		rec.Branch = branch
+	}
+	if !at.IsZero() {
+		rec.Time = at
+	}
+	if rec.Commit == "" {
+		rec.Commit = gitOutput("rev-parse", "HEAD")
+	}
+	if rec.Branch == "" {
+		rec.Branch = gitOutput("rev-parse", "--abbrev-ref", "HEAD")
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC() //benchlint:allow clock
+	}
+}
+
+// gitOutput shells out to git, returning "" when git or the repo is absent
+// — benchtrack must work on exported trees too.
+func gitOutput(args ...string) string {
+	out, err := exec.Command("git", args...).Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func runReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtrack report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		histPath = fs.String("history", "BENCH_history.jsonl", "history journal to analyze")
+		asJSON   = fs.Bool("json", false, "emit the stable JSON report instead of text")
+		lastN    = fs.Int("last", 10, "window for the one-line summary")
+		minDelta = fs.Float64("min-delta", 0, "practical-effect floor in percent (0 = default 5)")
+		penalty  = fs.Float64("penalty", 0, "PELT penalty (0 = robust default)")
+	)
+	obs := observe(fs)
+	if err := fs.Parse(args); err != nil {
+		return exitcode.Usage
+	}
+	obs.start()
+	store, code := openStore(*histPath, stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	defer store.Close()
+
+	span := obs.tracer.Begin(trace.CatTrack, "analyze", "history", *histPath)
+	rep := perfstore.Analyze(store.Runs(), store.Acked(), perfstore.AnalyzeOptions{
+		Penalty:     *penalty,
+		MinDeltaPct: *minDelta,
+	})
+	span.SetArg("runs", fmt.Sprint(rep.Runs))
+	span.SetArg("series", fmt.Sprint(len(rep.Series)))
+	span.SetArg("changepoints", fmt.Sprint(len(rep.Changepoints)))
+	span.End()
+	gaugeTrends(obs.reg, rep)
+	for _, cp := range rep.Changepoints {
+		if cp.Regression && !cp.Acked {
+			obs.tracer.Instant(trace.CatTrack, "alert",
+				"id", cp.ID, "benchmark", cp.Key.Benchmark, "host", cp.Key.Host,
+				"range", cp.Range(), "delta_pct", fmt.Sprintf("%.1f", cp.DeltaPct))
+		}
+	}
+	if *asJSON {
+		if err := rep.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "benchtrack:", err)
+			return exitcode.Infra
+		}
+	} else {
+		rep.Render(stdout)
+		if line := perfstore.TrendLine(store.Runs(), store.Acked(), "", *lastN); line != "" {
+			fmt.Fprintf(stdout, "\nbenchtrack: %s\n", line)
+		}
+	}
+	if !obs.finish(stdout, stderr) {
+		return exitcode.Infra
+	}
+	if rep.FreshRegressions > 0 {
+		fmt.Fprintf(stderr, "benchtrack: FAIL: %d fresh unacknowledged regression alert(s); review and fix, or accept with 'benchtrack ack <id>'\n",
+			rep.FreshRegressions)
+		return exitcode.Finding
+	}
+	return exitcode.OK
+}
+
+func runAck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtrack ack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		histPath = fs.String("history", "BENCH_history.jsonl", "history journal to append the acknowledgement to")
+		note     = fs.String("note", "", "why this shift is accepted (recorded in the history)")
+	)
+	obs := observe(fs)
+	if err := fs.Parse(args); err != nil {
+		return exitcode.Usage
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "benchtrack: ack needs at least one alert id")
+		return exitcode.Usage
+	}
+	obs.start()
+	store, code := openStore(*histPath, stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	defer store.Close()
+
+	// Refuse to ack ids that no current changepoint carries: a typo'd ack
+	// would silently arm itself against a future alert.
+	rep := perfstore.Analyze(store.Runs(), store.Acked(), perfstore.AnalyzeOptions{})
+	known := map[string]bool{}
+	for _, cp := range rep.Changepoints {
+		known[cp.ID] = true
+	}
+	for _, id := range fs.Args() {
+		if !known[id] {
+			fmt.Fprintf(stderr, "benchtrack: no current changepoint has id %q (see 'benchtrack report')\n", id)
+			return exitcode.Usage
+		}
+		if err := store.Append(perfstore.Record{
+			Kind:    perfstore.KindAck,
+			AlertID: id,
+			Note:    *note,
+			Time:    time.Now().UTC(), //benchlint:allow clock
+		}); err != nil {
+			fmt.Fprintln(stderr, "benchtrack:", err)
+			return exitcode.Infra
+		}
+		obs.reg.Counter("benchtrack_acks_total", "acknowledgements recorded").Inc()
+		obs.tracer.Instant(trace.CatTrack, "ack", "id", id)
+		fmt.Fprintf(stdout, "benchtrack: acknowledged %s\n", id)
+	}
+	if !obs.finish(stdout, stderr) {
+		return exitcode.Infra
+	}
+	return exitcode.OK
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtrack summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		histPath = fs.String("history", "BENCH_history.jsonl", "history journal to summarize")
+		bench    = fs.String("bench", "", "restrict to one benchmark ('' = all series)")
+		lastN    = fs.Int("last", 10, "window size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitcode.Usage
+	}
+	store, code := openStore(*histPath, stderr)
+	if code != exitcode.OK {
+		return code
+	}
+	defer store.Close()
+	line := perfstore.TrendLine(store.Runs(), store.Acked(), *bench, *lastN)
+	if line == "" {
+		fmt.Fprintf(stdout, "benchtrack: no history for %q in %s\n", *bench, *histPath)
+		return exitcode.OK
+	}
+	fmt.Fprintf(stdout, "benchtrack: %s\n", line)
+	return exitcode.OK
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/perfstore"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/wal"
+)
+
+func commitAt(i int) string {
+	return strings.Repeat("0", 30) + "c0ffee" + string(rune('a'+i)) + "xyz"
+}
+
+// fixtureHistory writes a history whose fib/interp series runs at 1.0 for
+// seven commits and then regresses 20% for five more — the known injected
+// regression of the acceptance scenario.
+func fixtureHistory(t *testing.T, path string) (regressFrom, regressTo string) {
+	t.Helper()
+	store, err := perfstore.Open(wal.OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	values := []float64{1.00, 1.01, 0.99, 1.00, 1.00, 1.01, 0.99,
+		1.20, 1.21, 1.19, 1.20, 1.20}
+	for i, v := range values {
+		rec := perfstore.Record{
+			Kind:   perfstore.KindRun,
+			Commit: commitAt(i),
+			Branch: "main",
+			Time:   time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, i),
+			Source: perfstore.SourcePybench,
+			Host:   perfstore.Simulated,
+			Points: []perfstore.Point{{Benchmark: "fib/interp", Value: v, Unit: "s/iter"}},
+		}
+		if err := store.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return commitAt(6), commitAt(7)
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// The acceptance scenario: a known injected 20% regression must be
+// localized to the correct commit range, raise a fresh alert (exit 1),
+// fall silent after ack (exit 0), and the history must survive a torn-tail
+// truncation.
+func TestInjectedRegressionLifecycle(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	from, to := fixtureHistory(t, hist)
+
+	// 1. Fresh alert: exit 1, attributed to (from, to].
+	code, out, errOut := runCLI(t, "report", "-history", hist)
+	if code != 1 {
+		t.Fatalf("report on regressed history: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	wantRange := from[:12] + ".." + to[:12]
+	if !strings.Contains(out, wantRange) {
+		t.Fatalf("report does not attribute the regression to %s:\n%s", wantRange, out)
+	}
+	if !strings.Contains(errOut, "fresh unacknowledged regression") {
+		t.Fatalf("stderr does not explain the failure: %q", errOut)
+	}
+
+	// 2. The JSON report carries the same finding, machine-readably.
+	code, jsonOut, _ := runCLI(t, "report", "-history", hist, "-json")
+	if code != 1 {
+		t.Fatalf("json report: exit %d, want 1", code)
+	}
+	var rep perfstore.TrendReport
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("report -json is not valid JSON: %v", err)
+	}
+	if rep.FreshRegressions != 1 || len(rep.Changepoints) != 1 {
+		t.Fatalf("json report findings: %+v", rep)
+	}
+	cp := rep.Changepoints[0]
+	if cp.Index != 7 || cp.FromCommit != from || cp.ToCommit != to || !cp.Regression {
+		t.Fatalf("changepoint misattributed: %+v", cp)
+	}
+
+	// 3. Ack the alert; the report must now pass.
+	code, out, errOut = runCLI(t, "ack", "-history", hist, "-note", "accepted for feature X", cp.ID)
+	if code != 0 {
+		t.Fatalf("ack: exit %d\n%s\n%s", code, out, errOut)
+	}
+	code, out, _ = runCLI(t, "report", "-history", hist)
+	if code != 0 {
+		t.Fatalf("report after ack: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "acked: accepted for feature X") {
+		t.Fatalf("report does not show the ack note:\n%s", out)
+	}
+
+	// 4. Torn-tail truncation: chop bytes off the final record; the store
+	// must recover the intact prefix and the report must still run. The
+	// final record is the ack, so the alert comes back fresh — exactly the
+	// conservative behavior a damaged history should produce.
+	data, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(hist, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCLI(t, "report", "-history", hist)
+	if code != 1 {
+		t.Fatalf("report on torn history: exit %d, want 1 (ack record torn away)", code)
+	}
+	if !strings.Contains(errOut, "recovered") {
+		t.Fatalf("recovery not surfaced on stderr: %q", errOut)
+	}
+	// The repair is durable: re-ack and the history is whole again.
+	code, _, _ = runCLI(t, "ack", "-history", hist, cp.ID)
+	if code != 0 {
+		t.Fatalf("re-ack after recovery: exit %d", code)
+	}
+	code, _, _ = runCLI(t, "report", "-history", hist)
+	if code != 0 {
+		t.Fatalf("report after repair + re-ack: exit %d, want 0", code)
+	}
+}
+
+func TestAckRefusesUnknownID(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	fixtureHistory(t, hist)
+	code, _, errOut := runCLI(t, "ack", "-history", hist, "ffffffffffff")
+	if code != 2 {
+		t.Fatalf("ack of unknown id: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "no current changepoint") {
+		t.Fatalf("unhelpful error: %q", errOut)
+	}
+}
+
+func TestIngestPybenchSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "hist.jsonl")
+	snap := filepath.Join(dir, "run.json")
+
+	res := &harness.Result{
+		Benchmark: "fib",
+		Mode:      vm.ModeInterp,
+		Invocations: []harness.Invocation{
+			{TimesSec: []float64{0.9, 0.95}},
+			{TimesSec: []float64{1.0, 1.05}},
+			{TimesSec: []float64{1.1, 1.15}},
+		},
+	}
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errOut := runCLI(t, "ingest", "-history", hist,
+		"-commit", "abcdef0123456789", "-branch", "main", "-at", "2026-08-08T00:00:00Z", snap)
+	if code != 0 {
+		t.Fatalf("ingest: exit %d\n%s\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "ingested") || !strings.Contains(out, "pybench") {
+		t.Fatalf("ingest output: %q", out)
+	}
+
+	store, err := perfstore.Open(wal.OSFS{}, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	runs := store.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("history has %d runs, want 1", len(runs))
+	}
+	if runs[0].Commit != "abcdef0123456789" || runs[0].Branch != "main" {
+		t.Fatalf("provenance: %+v", runs[0])
+	}
+	if runs[0].Host != perfstore.Simulated {
+		t.Fatalf("pybench run not keyed to the simulated host class: %+v", runs[0].Host)
+	}
+	if runs[0].Points[0].CILo == 0 && runs[0].Points[0].CIHi == 0 {
+		t.Fatalf("Kalibera CI not recorded: %+v", runs[0].Points[0])
+	}
+}
+
+func TestIngestBenchJSONDocUsesItsStamp(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "hist.jsonl")
+	snap := filepath.Join(dir, "bench.json")
+	doc := `{
+  "goos": "linux", "goarch": "amd64", "cpu": "TestCPU @ 2.10GHz",
+  "commit": "1234567890ab", "branch": "perf-work", "go_version": "go1.22.1",
+  "time_utc": "2026-08-01T10:00:00Z",
+  "benchmarks": [{"name": "BenchmarkDispatchArith", "iterations": 100, "ns_per_op": 754790}]
+}`
+	if err := os.WriteFile(snap, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "ingest", "-history", hist, snap)
+	if code != 0 {
+		t.Fatalf("ingest: exit %d\n%s", code, errOut)
+	}
+	store, err := perfstore.Open(wal.OSFS{}, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rec := store.Runs()[0]
+	if rec.Commit != "1234567890ab" || rec.Branch != "perf-work" {
+		t.Fatalf("doc stamp not used: %+v", rec)
+	}
+	if rec.Host.Key() != "linux/amd64/TestCPU @ 2.10GHz" {
+		t.Fatalf("host class: %q", rec.Host.Key())
+	}
+	if rec.Time != time.Date(2026, 8, 1, 10, 0, 0, 0, time.UTC) {
+		t.Fatalf("doc time not used: %v", rec.Time)
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	fixtureHistory(t, hist)
+	code, out, _ := runCLI(t, "summary", "-history", hist, "-bench", "fib", "-last", "8")
+	if code != 0 {
+		t.Fatalf("summary: exit %d", code)
+	}
+	if !strings.Contains(out, "fib/interp") || !strings.Contains(out, "↑") {
+		t.Fatalf("summary line: %q", out)
+	}
+}
+
+func TestReportMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "hist.jsonl")
+	fixtureHistory(t, hist)
+	tracePath := filepath.Join(dir, "track.trace.json")
+
+	code, out, _ := runCLI(t, "report", "-history", hist, "-metrics", "-trace", tracePath)
+	if code != 1 {
+		t.Fatalf("report: exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "benchtrack_alerts_fresh") {
+		t.Fatalf("metrics exposition missing:\n%s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.Validate(data)
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if events == 0 {
+		t.Fatal("trace has no events (expected at least the alert instant)")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "bogus"); code != 2 {
+		t.Fatalf("unknown command: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "ingest", "-history", filepath.Join(t.TempDir(), "h.jsonl")); code != 2 {
+		t.Fatalf("ingest with no files: exit %d, want 2", code)
+	}
+}

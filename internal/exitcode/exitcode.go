@@ -1,7 +1,7 @@
 // Package exitcode is the repository-wide exit-status taxonomy. Every
-// command (pybench, benchgate, benchlint, benchjson, pylint, tracecheck,
-// benchchaos) maps its outcomes onto the same five codes, so CI scripts can
-// branch on *why* a step failed without parsing stderr:
+// command (pybench, benchgate, benchlint, benchjson, benchtrack, pylint,
+// tracecheck, benchchaos) maps its outcomes onto the same five codes, so CI
+// scripts can branch on *why* a step failed without parsing stderr:
 //
 //	0 — success
 //	1 — finding: the tool worked and found what it gates on (a perf

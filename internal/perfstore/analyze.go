@@ -1,0 +1,239 @@
+package perfstore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// AnalyzeOptions tune the trajectory scan.
+type AnalyzeOptions struct {
+	// Penalty is passed to stats.PELT (<= 0 selects its robust default).
+	Penalty float64
+	// MinDeltaPct is the practical-effect floor: a level shift below it is
+	// segmentation detail, not an alert. Default 5.
+	MinDeltaPct float64
+	// MinRuns is the shortest series worth scanning (PELT needs >= 4).
+	// Default 5.
+	MinRuns int
+}
+
+func (o AnalyzeOptions) withDefaults() AnalyzeOptions {
+	if o.MinDeltaPct <= 0 {
+		o.MinDeltaPct = 5
+	}
+	if o.MinRuns < 4 {
+		o.MinRuns = 5
+	}
+	return o
+}
+
+// Changepoint is one localized level shift in one series, attributed to
+// the commit range between the adjacent runs.
+type Changepoint struct {
+	ID    string    `json:"id"`
+	Key   SeriesKey `json:"key"`
+	Unit  string    `json:"unit"`
+	Index int       `json:"index"` // series index where the new level starts
+	// Before/After are the segment means on each side of the shift.
+	Before   float64 `json:"before"`
+	After    float64 `json:"after"`
+	DeltaPct float64 `json:"delta_pct"` // (After-Before)/Before × 100
+	// Regression: the new level is slower (both units are time costs).
+	Regression bool `json:"regression"`
+	// FromCommit..ToCommit is the attribution range: the shift landed in
+	// (FromCommit, ToCommit] — FromCommit is the last run at the old level,
+	// ToCommit the first at the new one.
+	FromCommit string    `json:"from_commit"`
+	ToCommit   string    `json:"to_commit"`
+	At         time.Time `json:"at,omitempty"` // time of the ToCommit run
+	// Acked: an operator accepted this shift (Kind "ack" in the history).
+	Acked   bool   `json:"acked"`
+	AckNote string `json:"ack_note,omitempty"`
+}
+
+// Range renders the attribution range for report rows.
+func (c Changepoint) Range() string {
+	short := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		if s == "" {
+			return "(unknown)"
+		}
+		return s
+	}
+	return short(c.FromCommit) + ".." + short(c.ToCommit)
+}
+
+// SeriesTrend is the per-series summary row of the trend report.
+type SeriesTrend struct {
+	Key      SeriesKey `json:"key"`
+	Unit     string    `json:"unit"`
+	Runs     int       `json:"runs"`
+	First    float64   `json:"first"`
+	Last     float64   `json:"last"`
+	DeltaPct float64   `json:"delta_pct"` // last vs first
+	// Spark is the sparkline over the (windowed) series.
+	Spark string `json:"spark"`
+	// Changepoints restricted to this series.
+	Changepoints []Changepoint `json:"changepoints,omitempty"`
+}
+
+// TrendReport is the full analysis outcome: stable, deterministic, and
+// JSON-serializable as-is.
+type TrendReport struct {
+	Runs         int           `json:"runs"`
+	Series       []SeriesTrend `json:"series"`
+	Changepoints []Changepoint `json:"changepoints,omitempty"`
+	// Fresh counts unacknowledged regressions — the alert condition.
+	FreshRegressions  int `json:"fresh_regressions"`
+	AckedChangepoints int `json:"acked_changepoints"`
+}
+
+// Analyze partitions the history into series, runs PELT over each, and
+// attributes every detected level shift to its commit range. Acked alert
+// ids are folded in from the history's ack records.
+func Analyze(runs []Record, acked map[string]string, opts AnalyzeOptions) TrendReport {
+	opts = opts.withDefaults()
+	rep := TrendReport{Runs: len(runs)}
+	for _, ser := range BuildSeries(runs) {
+		st := SeriesTrend{
+			Key:  ser.Key,
+			Unit: ser.Unit,
+			Runs: len(ser.Points),
+		}
+		values := ser.Values()
+		if n := len(values); n > 0 {
+			st.First = values[0]
+			st.Last = values[n-1]
+			if st.First != 0 {
+				st.DeltaPct = 100 * (st.Last - st.First) / st.First
+			}
+			st.Spark = report.Sparkline(values)
+		}
+		if len(values) >= opts.MinRuns {
+			for _, idx := range stats.PELT(values, opts.Penalty) {
+				cp := attribute(ser, idx)
+				if abs(cp.DeltaPct) < opts.MinDeltaPct {
+					continue
+				}
+				if note, ok := acked[cp.ID]; ok {
+					cp.Acked = true
+					cp.AckNote = note
+				}
+				st.Changepoints = append(st.Changepoints, cp)
+			}
+		}
+		rep.Series = append(rep.Series, st)
+		rep.Changepoints = append(rep.Changepoints, st.Changepoints...)
+	}
+	for _, cp := range rep.Changepoints {
+		switch {
+		case cp.Acked:
+			rep.AckedChangepoints++
+		case cp.Regression:
+			rep.FreshRegressions++
+		}
+	}
+	return rep
+}
+
+// attribute turns one PELT segment boundary into an attributed changepoint:
+// the shift landed somewhere in the commit range between the last run at
+// the old level and the first run at the new one.
+func attribute(ser Series, idx int) Changepoint {
+	values := ser.Values()
+	before := stats.Mean(values[:idx])
+	after := stats.Mean(values[idx:])
+	deltaPct := 0.0
+	if before != 0 {
+		deltaPct = 100 * (after - before) / before
+	}
+	regression := after > before
+	from := ser.Points[idx-1]
+	to := ser.Points[idx]
+	return Changepoint{
+		ID:         AlertID(ser.Key, from.Commit, to.Commit, regression),
+		Key:        ser.Key,
+		Unit:       ser.Unit,
+		Index:      idx,
+		Before:     before,
+		After:      after,
+		DeltaPct:   deltaPct,
+		Regression: regression,
+		FromCommit: from.Commit,
+		ToCommit:   to.Commit,
+		At:         to.Time,
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TrendLine renders the one-line trend summary benchgate prints next to
+// its verdict: the last-N window of every series matching benchmark
+// ("" = all), each with a direction arrow and its fresh-alert count.
+// Returns "" when the history holds no matching series.
+func TrendLine(runs []Record, acked map[string]string, benchmark string, lastN int) string {
+	if lastN <= 0 {
+		lastN = 10
+	}
+	rep := Analyze(runs, acked, AnalyzeOptions{})
+	freshBySeries := map[SeriesKey]int{}
+	for _, cp := range rep.Changepoints {
+		if cp.Regression && !cp.Acked {
+			freshBySeries[cp.Key]++
+		}
+	}
+	var parts []string
+	for _, ser := range BuildSeries(runs) {
+		if benchmark != "" && !matchesBenchmark(ser.Key.Benchmark, benchmark) {
+			continue
+		}
+		values := ser.Values()
+		w := values
+		if len(w) > lastN {
+			w = w[len(w)-lastN:]
+		}
+		deltaPct := 0.0
+		if w[0] != 0 {
+			deltaPct = 100 * (w[len(w)-1] - w[0]) / w[0]
+		}
+		part := fmt.Sprintf("%s %s last %d: %s %.4g→%.4g %s (%+.1f%%)",
+			ser.Key.Benchmark, report.TrendArrow(deltaPct), len(w),
+			report.Sparkline(w), w[0], w[len(w)-1], ser.Unit, deltaPct)
+		if fresh := freshBySeries[ser.Key]; fresh > 0 {
+			part += fmt.Sprintf(" [%d fresh alert(s)]", fresh)
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("trend (%d runs): ", rep.Runs)
+	for i, p := range parts {
+		if i > 0 {
+			out += "; "
+		}
+		out += p
+	}
+	return out
+}
+
+// matchesBenchmark matches a series benchmark name against a bare
+// benchmark: exact, or prefix up to a "/mode" suffix ("fib" matches
+// "fib/interp").
+func matchesBenchmark(seriesName, bench string) bool {
+	if seriesName == bench {
+		return true
+	}
+	return len(seriesName) > len(bench) &&
+		seriesName[:len(bench)] == bench && seriesName[len(bench)] == '/'
+}

@@ -1,0 +1,183 @@
+package perfstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// commitAt fabricates a deterministic lineage of fake commit SHAs.
+func commitAt(i int) string {
+	return fmt.Sprintf("%040x", 0xc0ffee0000+i)
+}
+
+// historyWith builds a run history whose fib/interp series takes the given
+// values in order, one run per fake commit.
+func historyWith(values []float64) []Record {
+	runs := make([]Record, len(values))
+	for i, v := range values {
+		runs[i] = Record{
+			Kind:   KindRun,
+			Commit: commitAt(i),
+			Branch: "main",
+			Time:   time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * 24 * time.Hour),
+			Source: SourcePybench,
+			Host:   Simulated,
+			Points: []Point{{Benchmark: "fib/interp", Value: v, Unit: "s/iter"}},
+		}
+	}
+	return runs
+}
+
+func TestAnalyzeLocalizesInjectedRegression(t *testing.T) {
+	// 7 runs at the old level, then a 20% regression landing at run 7.
+	values := []float64{1.00, 1.01, 0.99, 1.00, 1.00, 1.01, 0.99,
+		1.20, 1.21, 1.19, 1.20, 1.20}
+	runs := historyWith(values)
+	rep := Analyze(runs, nil, AnalyzeOptions{})
+
+	if len(rep.Changepoints) != 1 {
+		t.Fatalf("got %d changepoints, want 1: %+v", len(rep.Changepoints), rep.Changepoints)
+	}
+	cp := rep.Changepoints[0]
+	if cp.Index != 7 {
+		t.Fatalf("changepoint at index %d, want 7", cp.Index)
+	}
+	if !cp.Regression {
+		t.Fatal("20% slowdown not classified as regression")
+	}
+	if cp.FromCommit != commitAt(6) || cp.ToCommit != commitAt(7) {
+		t.Fatalf("attributed to %s..%s, want %s..%s",
+			cp.FromCommit, cp.ToCommit, commitAt(6), commitAt(7))
+	}
+	if cp.DeltaPct < 15 || cp.DeltaPct > 25 {
+		t.Fatalf("delta %.1f%%, want ≈20%%", cp.DeltaPct)
+	}
+	if rep.FreshRegressions != 1 {
+		t.Fatalf("FreshRegressions = %d, want 1", rep.FreshRegressions)
+	}
+}
+
+func TestAnalyzeAckSilencesAlert(t *testing.T) {
+	values := []float64{1, 1, 1, 1, 1, 1, 1, 1.2, 1.2, 1.2, 1.2, 1.2}
+	runs := historyWith(values)
+	rep := Analyze(runs, nil, AnalyzeOptions{})
+	if rep.FreshRegressions != 1 {
+		t.Fatalf("precondition: want 1 fresh regression, got %d", rep.FreshRegressions)
+	}
+	id := rep.Changepoints[0].ID
+
+	acked := map[string]string{id: "accepted cost of feature X"}
+	rep2 := Analyze(runs, acked, AnalyzeOptions{})
+	if rep2.FreshRegressions != 0 {
+		t.Fatalf("acked alert still fresh: %+v", rep2.Changepoints)
+	}
+	if rep2.AckedChangepoints != 1 || !rep2.Changepoints[0].Acked {
+		t.Fatalf("ack not folded in: %+v", rep2.Changepoints[0])
+	}
+	if rep2.Changepoints[0].AckNote != "accepted cost of feature X" {
+		t.Fatalf("ack note lost: %q", rep2.Changepoints[0].AckNote)
+	}
+}
+
+func TestAlertIDIsStableAsHistoryGrows(t *testing.T) {
+	values := []float64{1, 1, 1, 1, 1, 1, 1, 1.2, 1.2, 1.2, 1.2, 1.2}
+	id1 := Analyze(historyWith(values), nil, AnalyzeOptions{}).Changepoints[0].ID
+	grown := append(append([]float64{}, values...), 1.2, 1.2, 1.2)
+	rep2 := Analyze(historyWith(grown), nil, AnalyzeOptions{})
+	if len(rep2.Changepoints) != 1 {
+		t.Fatalf("grown history: %d changepoints, want 1", len(rep2.Changepoints))
+	}
+	if rep2.Changepoints[0].ID != id1 {
+		t.Fatalf("alert id changed as history grew: %s vs %s", id1, rep2.Changepoints[0].ID)
+	}
+}
+
+func TestAnalyzeImprovementIsNotAnAlert(t *testing.T) {
+	values := []float64{1.2, 1.2, 1.2, 1.2, 1.2, 1.2, 1, 1, 1, 1, 1, 1}
+	rep := Analyze(historyWith(values), nil, AnalyzeOptions{})
+	if len(rep.Changepoints) != 1 {
+		t.Fatalf("got %d changepoints, want 1", len(rep.Changepoints))
+	}
+	if rep.Changepoints[0].Regression {
+		t.Fatal("speedup classified as regression")
+	}
+	if rep.FreshRegressions != 0 {
+		t.Fatalf("improvement raised a regression alert: %+v", rep)
+	}
+}
+
+func TestAnalyzeFlatSeriesHasNoChangepoints(t *testing.T) {
+	values := make([]float64, 10)
+	for i := range values {
+		values[i] = 1.0
+	}
+	rep := Analyze(historyWith(values), nil, AnalyzeOptions{})
+	if len(rep.Changepoints) != 0 {
+		t.Fatalf("flat series produced changepoints: %+v", rep.Changepoints)
+	}
+	if rep.FreshRegressions != 0 {
+		t.Fatalf("flat series raised alerts")
+	}
+}
+
+func TestAnalyzePracticalEffectFloor(t *testing.T) {
+	// A 1% step is segmentation detail, not an alert (default floor 5%).
+	values := []float64{1, 1, 1, 1, 1, 1, 1.01, 1.01, 1.01, 1.01, 1.01, 1.01}
+	rep := Analyze(historyWith(values), nil, AnalyzeOptions{})
+	if len(rep.Changepoints) != 0 {
+		t.Fatalf("sub-floor shift alerted: %+v", rep.Changepoints)
+	}
+}
+
+func TestAnalyzeShortSeriesIsSkipped(t *testing.T) {
+	rep := Analyze(historyWith([]float64{1, 1.5, 1.5}), nil, AnalyzeOptions{})
+	if len(rep.Changepoints) != 0 {
+		t.Fatalf("3-run series produced changepoints: %+v", rep.Changepoints)
+	}
+	if len(rep.Series) != 1 || rep.Series[0].Runs != 3 {
+		t.Fatalf("series summary missing: %+v", rep.Series)
+	}
+}
+
+func TestTrendLineFormatsArrowAndFilter(t *testing.T) {
+	values := []float64{1, 1, 1, 1, 1, 1, 1, 1.2, 1.2, 1.2, 1.2, 1.2}
+	runs := historyWith(values)
+	line := TrendLine(runs, nil, "fib", 8)
+	if line == "" {
+		t.Fatal("no trend line for matching benchmark")
+	}
+	if !strings.Contains(line, "fib/interp") || !strings.Contains(line, "↑") {
+		t.Fatalf("trend line missing series or arrow: %q", line)
+	}
+	if !strings.Contains(line, "fresh alert") {
+		t.Fatalf("trend line hides the fresh alert: %q", line)
+	}
+	if got := TrendLine(runs, nil, "nbody", 8); got != "" {
+		t.Fatalf("non-matching benchmark produced a line: %q", got)
+	}
+}
+
+func TestRenderReportMentionsAttribution(t *testing.T) {
+	values := []float64{1, 1, 1, 1, 1, 1, 1, 1.2, 1.2, 1.2, 1.2, 1.2}
+	rep := Analyze(historyWith(values), nil, AnalyzeOptions{})
+	var sb strings.Builder
+	rep.Render(&sb)
+	out := sb.String()
+	wantRange := commitAt(6)[:12] + ".." + commitAt(7)[:12]
+	if !strings.Contains(out, wantRange) {
+		t.Fatalf("report lacks attribution range %q:\n%s", wantRange, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "fresh") {
+		t.Fatalf("report lacks alert status:\n%s", out)
+	}
+
+	var js strings.Builder
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"fresh_regressions": 1`) {
+		t.Fatalf("JSON report lacks fresh_regressions:\n%s", js.String())
+	}
+}

@@ -1,0 +1,125 @@
+package perfstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// BenchDoc mirrors cmd/benchjson's document format (a stable public shape:
+// the committed BENCH_vm.json). The provenance fields are stamped by
+// benchjson since v0.4; older docs simply lack them, and ingestion
+// tolerates that — attribution then relies on flags or git at ingest time.
+type BenchDoc struct {
+	Goos      string `json:"goos,omitempty"`
+	Goarch    string `json:"goarch,omitempty"`
+	Pkg       string `json:"pkg,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	Commit    string `json:"commit,omitempty"`
+	Branch    string `json:"branch,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	TimeUTC   string `json:"time_utc,omitempty"`
+
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// BenchEntry is one wall-clock microbenchmark measurement.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// FromBenchDoc converts a benchjson document into a run record. Wall-clock
+// numbers are host-dependent, so the host class is taken from the doc's
+// goos/goarch/cpu stamp and partitions the series.
+func FromBenchDoc(doc *BenchDoc) (Record, error) {
+	if len(doc.Benchmarks) == 0 {
+		return Record{}, fmt.Errorf("perfstore: benchjson doc has no benchmarks")
+	}
+	rec := Record{
+		Kind:      KindRun,
+		Source:    SourceBenchJSON,
+		Commit:    doc.Commit,
+		Branch:    doc.Branch,
+		GoVersion: doc.GoVersion,
+		Host:      HostClass{GOOS: doc.Goos, GOARCH: doc.Goarch, CPU: doc.CPU},
+	}
+	if doc.TimeUTC != "" {
+		t, err := time.Parse(time.RFC3339, doc.TimeUTC)
+		if err != nil {
+			return Record{}, fmt.Errorf("perfstore: bad time_utc %q: %w", doc.TimeUTC, err)
+		}
+		rec.Time = t.UTC()
+	}
+	for _, e := range doc.Benchmarks {
+		rec.Points = append(rec.Points, Point{
+			Benchmark:   e.Name,
+			Value:       e.NsPerOp,
+			Unit:        "ns/op",
+			BytesPerOp:  e.BytesPerOp,
+			AllocsPerOp: e.AllocsPerOp,
+		})
+	}
+	return rec, nil
+}
+
+// FromResult converts a pybench experiment result into a run record: one
+// point carrying the Kalibera–Jones grand mean and CI of the pinned-seed
+// experiment. Simulated times are host-independent, so the host class is
+// Simulated and the whole fleet contributes to one series.
+func FromResult(res *harness.Result, confidence float64) (Record, error) {
+	if len(res.Invocations) == 0 {
+		return Record{}, fmt.Errorf("perfstore: result has no invocations")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	h := res.Hierarchical()
+	ci := stats.KaliberaMeanCI(h, confidence)
+	rec := Record{
+		Kind:   KindRun,
+		Source: SourcePybench,
+		Host:   Simulated,
+		Points: []Point{{
+			Benchmark:  fmt.Sprintf("%s/%s", res.Benchmark, res.Mode),
+			Value:      stats.DecomposeVariance(h).GrandMean,
+			Unit:       "s/iter",
+			CILo:       ci.Lo,
+			CIHi:       ci.Hi,
+			Confidence: confidence,
+		}},
+	}
+	return rec, nil
+}
+
+// ParseSnapshot sniffs and converts one ingestible document: a benchjson
+// doc (BENCH_vm.json shape, has a "benchmarks" array) or a pybench result
+// (`pybench -bench NAME -json`, has an "Invocations" array).
+func ParseSnapshot(data []byte, confidence float64) (Record, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return Record{}, fmt.Errorf("perfstore: snapshot is not a JSON object: %w", err)
+	}
+	if _, ok := probe["benchmarks"]; ok {
+		doc := &BenchDoc{}
+		if err := json.Unmarshal(data, doc); err != nil {
+			return Record{}, fmt.Errorf("perfstore: decoding benchjson doc: %w", err)
+		}
+		return FromBenchDoc(doc)
+	}
+	if _, ok := probe["Invocations"]; ok {
+		res, err := harness.ReadResultJSON(bytes.NewReader(data))
+		if err != nil {
+			return Record{}, fmt.Errorf("perfstore: decoding pybench result: %w", err)
+		}
+		return FromResult(res, confidence)
+	}
+	return Record{}, fmt.Errorf("perfstore: unrecognized snapshot shape (want a benchjson doc or a pybench -json result)")
+}

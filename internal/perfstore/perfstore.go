@@ -1,0 +1,286 @@
+// Package perfstore is the longitudinal perf time-series layer: an
+// append-only history of benchmark runs with provenance, stored as a
+// CRC-framed JSONL journal (internal/wal.LineJournal) so the committed
+// BENCH_history.jsonl survives crashes mid-append with the same torn-tail /
+// corrupt-record recovery semantics as the checkpoint journal.
+//
+// The paper's methodology detects steady state *within* a run via
+// changepoint analysis; this package applies the identical machinery
+// (stats.PELT) *across* runs, so production regression detection becomes a
+// trajectory problem: every record carries its commit SHA, branch, and
+// host class, each benchmark × host-class series is scanned for level
+// shifts, and every detected shift is attributed to the commit range
+// between the two adjacent records. Acknowledged changepoints are recorded
+// in the history itself (Kind "ack"), so the alert state needs no side
+// file and travels with the data.
+package perfstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Record kinds.
+const (
+	KindRun = "run" // one ingested benchmark run
+	KindAck = "ack" // operator acknowledgement of one alert
+)
+
+// Sources a run record can come from.
+const (
+	SourceBenchJSON = "benchjson" // wall-clock go-test microbenchmarks (BENCH_vm.json)
+	SourcePybench   = "pybench"   // simulated pinned-seed experiment (pybench -json)
+)
+
+// HostClass identifies the hardware class a wall-clock measurement is
+// comparable within. Wall-clock series are partitioned on it; mixing hosts
+// in one series would turn every CI-runner change into a fake regression.
+type HostClass struct {
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+}
+
+// Simulated is the host class of pybench results: simulated times are a
+// pure function of (workload, cost model, seed), so every host is the same
+// class and the whole fleet shares one series.
+var Simulated = HostClass{GOOS: "any", GOARCH: "any", CPU: "simulated"}
+
+// Key renders the class as a stable partition key.
+func (h HostClass) Key() string {
+	norm := func(s string) string {
+		if s == "" {
+			return "unknown"
+		}
+		return s
+	}
+	return norm(h.GOOS) + "/" + norm(h.GOARCH) + "/" + norm(h.CPU)
+}
+
+// Point is one benchmark's measurement inside one run.
+type Point struct {
+	// Benchmark names the series within the run ("BenchmarkDispatchArith",
+	// "fib/interp", ...).
+	Benchmark string `json:"benchmark"`
+	// Value is the canonical scalar tracked over time (Unit says what it
+	// is). Lower is always better: both supported units are time costs.
+	Value float64 `json:"value"`
+	// Unit is "ns/op" (wall-clock microbenchmarks) or "s/iter" (simulated
+	// experiment grand mean).
+	Unit string `json:"unit"`
+	// BytesPerOp/AllocsPerOp ride along for wall-clock points.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// CILo/CIHi/Confidence carry the Kalibera–Jones interval for pinned-
+	// seed experiment points (zero for wall-clock points, which are single
+	// numbers).
+	CILo       float64 `json:"ci_lo,omitempty"`
+	CIHi       float64 `json:"ci_hi,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// Record is one history entry: either a run (provenance + points) or an
+// acknowledgement of one alert.
+type Record struct {
+	Kind string `json:"kind"`
+
+	// Run provenance.
+	Commit    string    `json:"commit,omitempty"`
+	Branch    string    `json:"branch,omitempty"`
+	Time      time.Time `json:"time,omitempty"` // UTC
+	GoVersion string    `json:"go_version,omitempty"`
+	Source    string    `json:"source,omitempty"`
+	Host      HostClass `json:"host,omitempty"`
+	Points    []Point   `json:"points,omitempty"`
+
+	// Ack payload.
+	AlertID string `json:"alert_id,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// ShortCommit abbreviates the commit SHA for report rows.
+func (r Record) ShortCommit() string {
+	if len(r.Commit) > 12 {
+		return r.Commit[:12]
+	}
+	if r.Commit == "" {
+		return "(unknown)"
+	}
+	return r.Commit
+}
+
+// Store is the open history: a line journal plus the decoded records.
+type Store struct {
+	j        *wal.LineJournal
+	records  []Record
+	recovery wal.RecoveryReport
+}
+
+// Open recovers the history at path (absent = empty history). Damage is
+// repaired on disk wal-style before the store is returned; Recovery()
+// reports what was found.
+func Open(fsys wal.FS, path string) (*Store, error) {
+	j, payloads, rep, err := wal.OpenLines(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{j: j, recovery: rep}
+	for i, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("perfstore: record %d of %s: %w", i, path, err)
+		}
+		s.records = append(s.records, rec)
+	}
+	return s, nil
+}
+
+// Recovery reports the journal damage (if any) found at Open.
+func (s *Store) Recovery() wal.RecoveryReport { return s.recovery }
+
+// Records returns all decoded records in append order.
+func (s *Store) Records() []Record { return s.records }
+
+// Runs returns only the run records, in append (i.e. chronological-commit)
+// order — the series order every analysis uses.
+func (s *Store) Runs() []Record {
+	var runs []Record
+	for _, r := range s.records {
+		if r.Kind == KindRun {
+			runs = append(runs, r)
+		}
+	}
+	return runs
+}
+
+// Acked returns the set of acknowledged alert IDs with their notes.
+func (s *Store) Acked() map[string]string {
+	acked := map[string]string{}
+	for _, r := range s.records {
+		if r.Kind == KindAck && r.AlertID != "" {
+			acked[r.AlertID] = r.Note
+		}
+	}
+	return acked
+}
+
+// Append validates rec, marshals it compactly, and durably appends it.
+func (s *Store) Append(rec Record) error {
+	switch rec.Kind {
+	case KindRun:
+		if len(rec.Points) == 0 {
+			return fmt.Errorf("perfstore: run record has no points")
+		}
+	case KindAck:
+		if rec.AlertID == "" {
+			return fmt.Errorf("perfstore: ack record has no alert id")
+		}
+	default:
+		return fmt.Errorf("perfstore: unknown record kind %q", rec.Kind)
+	}
+	if !rec.Time.IsZero() {
+		rec.Time = rec.Time.UTC().Truncate(time.Second)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("perfstore: encoding record: %w", err)
+	}
+	if err := s.j.Append(payload); err != nil {
+		return err
+	}
+	s.records = append(s.records, rec)
+	return nil
+}
+
+// Close releases the journal append handle.
+func (s *Store) Close() error { return s.j.Close() }
+
+// SeriesKey partitions points: one series per benchmark × host class.
+type SeriesKey struct {
+	Benchmark string `json:"benchmark"`
+	Host      string `json:"host"`
+}
+
+func (k SeriesKey) String() string { return k.Benchmark + " @ " + k.Host }
+
+// RunPoint is one series sample with its provenance attached.
+type RunPoint struct {
+	RunIndex int       `json:"run_index"` // index into Runs()
+	Commit   string    `json:"commit"`
+	Time     time.Time `json:"time"`
+	Value    float64   `json:"value"`
+}
+
+// Series is one benchmark × host-class trajectory in run order.
+type Series struct {
+	Key    SeriesKey  `json:"key"`
+	Unit   string     `json:"unit"`
+	Points []RunPoint `json:"points"`
+}
+
+// Values extracts the raw value vector (PELT input).
+func (s Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// BuildSeries partitions the runs into per-benchmark × host-class series,
+// sorted by key for deterministic iteration.
+func BuildSeries(runs []Record) []Series {
+	byKey := map[SeriesKey]*Series{}
+	for i, run := range runs {
+		host := run.Host.Key()
+		for _, pt := range run.Points {
+			key := SeriesKey{Benchmark: pt.Benchmark, Host: host}
+			ser, ok := byKey[key]
+			if !ok {
+				ser = &Series{Key: key, Unit: pt.Unit}
+				byKey[key] = ser
+			}
+			ser.Points = append(ser.Points, RunPoint{
+				RunIndex: i, Commit: run.Commit, Time: run.Time, Value: pt.Value,
+			})
+		}
+	}
+	keys := make([]SeriesKey, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Benchmark != keys[b].Benchmark {
+			return keys[a].Benchmark < keys[b].Benchmark
+		}
+		return keys[a].Host < keys[b].Host
+	})
+	out := make([]Series, len(keys))
+	for i, k := range keys {
+		out[i] = *byKey[k]
+	}
+	return out
+}
+
+// AlertID derives the stable identifier of a changepoint from what defines
+// it — the series and the commit range it landed in — so the same alert
+// keeps its id as more runs are appended, and an ack recorded today still
+// matches tomorrow.
+func AlertID(key SeriesKey, fromCommit, toCommit string, regression bool) string {
+	dir := "improvement"
+	if regression {
+		dir = "regression"
+	}
+	sum := sha256.Sum256([]byte(strings.Join([]string{
+		key.Benchmark, key.Host, fromCommit, toCommit, dir,
+	}, "|")))
+	return hex.EncodeToString(sum[:6])
+}

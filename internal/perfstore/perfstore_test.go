@@ -1,0 +1,239 @@
+package perfstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/vm"
+	"repro/internal/wal"
+)
+
+func runRecord(commit string, value float64) Record {
+	return Record{
+		Kind:   KindRun,
+		Commit: commit,
+		Branch: "main",
+		Time:   time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+		Source: SourcePybench,
+		Host:   Simulated,
+		Points: []Point{{Benchmark: "fib/interp", Value: value, Unit: "s/iter"}},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	s, err := Open(wal.OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1.0, 1.01, 0.99} {
+		if err := s.Append(runRecord(commitAt(i), v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(Record{Kind: KindAck, AlertID: "deadbeef1234", Note: "expected"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(wal.OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Recovery().Clean() {
+		t.Fatalf("reopen not clean: %+v", s2.Recovery())
+	}
+	runs := s2.Runs()
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	if runs[1].Commit != commitAt(1) || runs[1].Points[0].Value != 1.01 {
+		t.Fatalf("run 1 mismatch: %+v", runs[1])
+	}
+	if note, ok := s2.Acked()["deadbeef1234"]; !ok || note != "expected" {
+		t.Fatalf("ack not recovered: %+v", s2.Acked())
+	}
+}
+
+func TestStoreRejectsMalformedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	s, err := Open(wal.OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(Record{Kind: KindRun}); err == nil {
+		t.Fatal("accepted a run with no points")
+	}
+	if err := s.Append(Record{Kind: KindAck}); err == nil {
+		t.Fatal("accepted an ack with no alert id")
+	}
+	if err := s.Append(Record{Kind: "bogus"}); err == nil {
+		t.Fatal("accepted an unknown kind")
+	}
+}
+
+func TestStoreSurvivesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	s, err := Open(wal.OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(runRecord(commitAt(i), 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(wal.OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep := s2.Recovery()
+	if rep.TornTailBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", rep)
+	}
+	if len(s2.Runs()) != 3 {
+		t.Fatalf("recovered %d runs, want 3", len(s2.Runs()))
+	}
+	// The store must be appendable again after repair.
+	if err := s2.Append(runRecord(commitAt(3), 1.0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSeriesPartitionsByHostClass(t *testing.T) {
+	hostA := HostClass{GOOS: "linux", GOARCH: "amd64", CPU: "Xeon"}
+	hostB := HostClass{GOOS: "linux", GOARCH: "arm64", CPU: "Graviton"}
+	runs := []Record{
+		{Kind: KindRun, Commit: "a", Host: hostA, Points: []Point{
+			{Benchmark: "BenchmarkDispatch", Value: 100, Unit: "ns/op"}}},
+		{Kind: KindRun, Commit: "b", Host: hostB, Points: []Point{
+			{Benchmark: "BenchmarkDispatch", Value: 300, Unit: "ns/op"}}},
+		{Kind: KindRun, Commit: "c", Host: hostA, Points: []Point{
+			{Benchmark: "BenchmarkDispatch", Value: 110, Unit: "ns/op"}}},
+	}
+	series := BuildSeries(runs)
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2 (one per host class)", len(series))
+	}
+	for _, ser := range series {
+		switch ser.Key.Host {
+		case hostA.Key():
+			if len(ser.Points) != 2 {
+				t.Fatalf("host A series has %d points, want 2", len(ser.Points))
+			}
+		case hostB.Key():
+			if len(ser.Points) != 1 {
+				t.Fatalf("host B series has %d points, want 1", len(ser.Points))
+			}
+		default:
+			t.Fatalf("unexpected host key %q", ser.Key.Host)
+		}
+	}
+}
+
+func TestParseSnapshotBenchDoc(t *testing.T) {
+	doc := BenchDoc{
+		Goos: "linux", Goarch: "amd64", CPU: "Xeon",
+		Commit: "abc123", Branch: "main", GoVersion: "go1.22",
+		TimeUTC: "2026-08-01T12:00:00Z",
+		Benchmarks: []BenchEntry{
+			{Name: "BenchmarkDispatchArith", Iterations: 100, NsPerOp: 754790,
+				BytesPerOp: 94744, AllocsPerOp: 11102},
+		},
+	}
+	data, _ := json.Marshal(doc)
+	rec, err := ParseSnapshot(data, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Source != SourceBenchJSON || rec.Commit != "abc123" {
+		t.Fatalf("provenance not carried: %+v", rec)
+	}
+	if rec.Host.Key() != "linux/amd64/Xeon" {
+		t.Fatalf("host class %q", rec.Host.Key())
+	}
+	if len(rec.Points) != 1 || rec.Points[0].Value != 754790 || rec.Points[0].Unit != "ns/op" {
+		t.Fatalf("points: %+v", rec.Points)
+	}
+	if rec.Time.IsZero() {
+		t.Fatal("time_utc not parsed")
+	}
+}
+
+// A pre-provenance benchjson doc (the committed BENCH_vm.json predates the
+// stamp) must still ingest; attribution fields stay empty.
+func TestParseSnapshotToleratesMissingProvenance(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_vm.json")
+	if err != nil {
+		t.Skip("BENCH_vm.json not present")
+	}
+	rec, err := ParseSnapshot(data, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Commit != "" && len(rec.Commit) < 7 {
+		t.Fatalf("unexpected commit %q", rec.Commit)
+	}
+	if len(rec.Points) == 0 {
+		t.Fatal("no points ingested")
+	}
+}
+
+func TestParseSnapshotPybenchResult(t *testing.T) {
+	res := &harness.Result{
+		Benchmark: "fib",
+		Mode:      vm.ModeInterp,
+		Invocations: []harness.Invocation{
+			{TimesSec: []float64{0.9, 0.95, 0.85}},
+			{TimesSec: []float64{1.0, 1.05, 0.95}},
+			{TimesSec: []float64{1.1, 1.15, 1.05}},
+		},
+	}
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ParseSnapshot([]byte(sb.String()), 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Source != SourcePybench || rec.Host != Simulated {
+		t.Fatalf("pybench record misclassified: %+v", rec)
+	}
+	pt := rec.Points[0]
+	if pt.Benchmark != "fib/interp" || pt.Unit != "s/iter" {
+		t.Fatalf("point identity: %+v", pt)
+	}
+	if pt.Value < 0.99 || pt.Value > 1.01 {
+		t.Fatalf("grand mean %v, want 1.0", pt.Value)
+	}
+	if !(pt.CILo < pt.Value && pt.Value < pt.CIHi) {
+		t.Fatalf("CI [%v, %v] does not bracket %v", pt.CILo, pt.CIHi, pt.Value)
+	}
+}
+
+func TestParseSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ParseSnapshot([]byte(`{"neither":"shape"}`), 0.95); err == nil {
+		t.Fatal("accepted an unrecognized document")
+	}
+	if _, err := ParseSnapshot([]byte(`not json`), 0.95); err == nil {
+		t.Fatal("accepted non-JSON")
+	}
+}

@@ -1,0 +1,63 @@
+package perfstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// Render writes the human trend report: one aligned row per series with its
+// sparkline history, then the alert list with fresh alerts separated from
+// acknowledged ones.
+func (tr TrendReport) Render(w io.Writer) {
+	t := report.NewTable(
+		fmt.Sprintf("Longitudinal trend — %d run(s), %d series", tr.Runs, len(tr.Series)),
+		"benchmark", "host class", "runs", "first", "last", "Δ%", "dir", "history")
+	for _, st := range tr.Series {
+		t.AddRow(st.Key.Benchmark, st.Key.Host, st.Runs,
+			report.FormatFloat(st.First), report.FormatFloat(st.Last),
+			fmt.Sprintf("%+.1f", st.DeltaPct), report.TrendArrow(st.DeltaPct), st.Spark)
+	}
+	if tr.FreshRegressions > 0 {
+		t.AddFootnote("%d fresh unacknowledged regression alert(s) — see below", tr.FreshRegressions)
+	}
+	t.Render(w)
+
+	if len(tr.Changepoints) == 0 {
+		fmt.Fprintln(w, "\nNo changepoints detected.")
+		return
+	}
+	fmt.Fprintln(w)
+	at := report.NewTable("Changepoints (commit-attributed)",
+		"id", "benchmark", "host class", "landed in", "before", "after", "Δ%", "kind", "status")
+	for _, cp := range tr.Changepoints {
+		kind := "improvement"
+		if cp.Regression {
+			kind = "REGRESSION"
+		}
+		status := "fresh"
+		if cp.Acked {
+			status = "acked"
+			if cp.AckNote != "" {
+				status += ": " + cp.AckNote
+			}
+		} else if !cp.Regression {
+			status = "-"
+		}
+		at.AddRow(cp.ID, cp.Key.Benchmark, cp.Key.Host, cp.Range(),
+			report.FormatFloat(cp.Before), report.FormatFloat(cp.After),
+			fmt.Sprintf("%+.1f", cp.DeltaPct), kind, status)
+	}
+	at.AddFootnote("ack a reviewed alert with: benchtrack ack -history <file> <id>")
+	at.Render(w)
+}
+
+// WriteJSON emits the stable machine-readable report (deterministic field
+// order via struct tags; series and changepoints already sorted by key).
+func (tr TrendReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}

@@ -27,6 +27,9 @@ const (
 	// CatWorker spans cover one shard's lifetime in a parallel run; their
 	// invocation child spans carry the shard id in a "worker" argument.
 	CatWorker = "worker"
+	// CatTrack instants are benchtrack history operations: snapshot
+	// ingests, changepoint alerts, and acknowledgements.
+	CatTrack = "track"
 )
 
 // Event is one recorded trace event. TS and Dur are offsets from the

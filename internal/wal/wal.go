@@ -197,23 +197,7 @@ func Open(fsys FS, path string) (*Journal, [][]byte, RecoveryReport, error) {
 
 // rewrite atomically replaces the journal file with raw bytes.
 func (j *Journal) rewrite(raw []byte) error {
-	tmp := j.path + ".tmp"
-	f, err := j.fsys.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(raw); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return j.fsys.Rename(tmp, j.path)
+	return atomicRewrite(j.fsys, j.path, raw)
 }
 
 // Append durably appends one record: a single write of the framed record

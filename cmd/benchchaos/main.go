@@ -126,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "benchchaos:", err)
 			return exitcode.Infra
 		}
+		//benchlint:allow uncheckederr — best-effort temp-dir cleanup
 		defer os.RemoveAll(tmp)
 		cfg.dir = tmp
 	}
@@ -198,6 +199,7 @@ func soakRound(cfg config, round int, stdout, stderr io.Writer) int {
 		}
 		res, err = harness.NewSupervisor(harness.NewRunner(), so).
 			RunParallel(b, opts, harness.ParallelOptions{Workers: cfg.workers, Policy: harness.PolicyForce})
+		//benchlint:allow uncheckederr — segments crash by design; recovery replays the journal
 		store.Close()
 		segments++
 		if errors.Is(err, harness.ErrCrashPoint) {

@@ -108,6 +108,7 @@ func printTrend(histPath, benchmark string, lastN int, stdout, stderr io.Writer)
 		fmt.Fprintln(stderr, "benchgate: trend unavailable:", err)
 		return
 	}
+	//benchlint:allow uncheckederr — read-only use of the journal
 	defer store.Close()
 	line := perfstore.TrendLine(store.Runs(), store.Acked(), benchmark, lastN)
 	if line == "" {
@@ -122,6 +123,7 @@ func readResult(path string) (*harness.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//benchlint:allow uncheckederr — file opened read-only
 	defer f.Close()
 	res, err := harness.ReadResultJSON(f)
 	if err != nil {

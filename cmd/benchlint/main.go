@@ -1,6 +1,6 @@
 // Command benchlint is a repository-local vet pass that enforces the
 // measurement-methodology invariants the harness depends on. It is built
-// on go/ast alone (no external analysis frameworks) and checks three
+// on go/ast alone (no external analysis frameworks) and checks four
 // rules across the Go tree:
 //
 //   - wallclock: time.Now / time.Since / time.Until may appear only at
@@ -14,6 +14,12 @@
 //   - globalrand: the process-global math/rand source is forbidden
 //     everywhere; randomness must flow from explicitly seeded sources so
 //     experiments replay bit-identically.
+//   - uncheckederr: statement-position calls that drop error returns from
+//     the durable-write surface — os write-path functions (Remove, Rename,
+//     WriteFile, ...) and WAL/perfstore methods (Append, Rotate, Close,
+//     Sync, Flush), bare or deferred — must handle the error or carry
+//     //benchlint:allow uncheckederr with a reason. A campaign journal
+//     whose rotation failed silently is how crash recovery loses data.
 //
 // Usage:
 //

@@ -24,12 +24,16 @@ func (f Finding) String() string {
 //
 //	//benchlint:allow clock   — sanctions a wall-clock call on the same or
 //	                            the following source line
+//	//benchlint:allow uncheckederr — sanctions a dropped error return on the
+//	                            same or the following source line (deliberate
+//	                            drops on already-failing cleanup paths)
 //	benchlint:hotpath         — in a function's doc comment, marks it as
 //	                            part of the interpreter dispatch loop, where
 //	                            allocation-prone stdlib calls are forbidden
 const (
-	allowClockDirective = "benchlint:allow clock"
-	hotpathDirective    = "benchlint:hotpath"
+	allowClockDirective     = "benchlint:allow clock"
+	allowUncheckedDirective = "benchlint:allow uncheckederr"
+	hotpathDirective        = "benchlint:hotpath"
 )
 
 // hotpathForbidden are packages whose direct calls inside a hot-path
@@ -54,19 +58,21 @@ func lintFile(fset *token.FileSet, path string, src []byte) ([]Finding, error) {
 		return nil, err
 	}
 	l := &linter{
-		fset:    fset,
-		imports: importTable(file),
-		allowed: allowedClockLines(fset, file),
+		fset:           fset,
+		imports:        importTable(file),
+		allowed:        directiveLines(fset, file, allowClockDirective),
+		allowUnchecked: directiveLines(fset, file, allowUncheckedDirective),
 	}
 	l.file(file)
 	return l.findings, nil
 }
 
 type linter struct {
-	fset     *token.FileSet
-	imports  map[string]string // local identifier -> import path
-	allowed  map[int]bool      // lines sanctioned by benchlint:allow clock
-	findings []Finding
+	fset           *token.FileSet
+	imports        map[string]string // local identifier -> import path
+	allowed        map[int]bool      // lines sanctioned by benchlint:allow clock
+	allowUnchecked map[int]bool      // lines sanctioned by benchlint:allow uncheckederr
+	findings       []Finding
 }
 
 func (l *linter) report(pos token.Pos, rule, format string, args ...interface{}) {
@@ -103,14 +109,14 @@ func importTable(file *ast.File) map[string]string {
 	return t
 }
 
-// allowedClockLines collects the source lines sanctioned by an allow-clock
+// directiveLines collects the source lines sanctioned by an allow
 // directive. A directive covers its own line (trailing comment) and the
 // line after it (comment above the call).
-func allowedClockLines(fset *token.FileSet, file *ast.File) map[int]bool {
+func directiveLines(fset *token.FileSet, file *ast.File, directive string) map[int]bool {
 	lines := make(map[int]bool)
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.Contains(c.Text, allowClockDirective) {
+			if !strings.Contains(c.Text, directive) {
 				continue
 			}
 			line := fset.Position(c.End()).Line
@@ -124,16 +130,21 @@ func allowedClockLines(fset *token.FileSet, file *ast.File) map[int]bool {
 func (l *linter) file(file *ast.File) {
 	// Rule wallclock + globalrand apply file-wide.
 	ast.Inspect(file, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			pkg, fn, ok := l.qualifiedCall(node)
+			if !ok {
+				return true
+			}
+			l.checkWallclock(node, pkg, fn)
+			l.checkGlobalRand(node, pkg, fn)
+		case *ast.ExprStmt:
+			if call, ok := node.X.(*ast.CallExpr); ok {
+				l.checkUncheckedErr(call, false)
+			}
+		case *ast.DeferStmt:
+			l.checkUncheckedErr(node.Call, true)
 		}
-		pkg, fn, ok := l.qualifiedCall(call)
-		if !ok {
-			return true
-		}
-		l.checkWallclock(call, pkg, fn)
-		l.checkGlobalRand(call, pkg, fn)
 		return true
 	})
 
@@ -212,6 +223,58 @@ func (l *linter) checkGlobalRand(call *ast.CallExpr, pkg, fn string) {
 	l.report(call.Pos(), "globalrand",
 		"%s.%s uses the global rand source; construct an explicit seeded source instead",
 		pkg, fn)
+}
+
+// uncheckedOSFuncs are the os package's write-path functions: each returns
+// only an error, so calling one in statement position silently swallows
+// the failure — a journal rotation that didn't happen, a result file that
+// was never renamed into place.
+var uncheckedOSFuncs = map[string]bool{
+	"Remove": true, "RemoveAll": true, "Rename": true, "Mkdir": true,
+	"MkdirAll": true, "WriteFile": true, "Chmod": true, "Truncate": true,
+	"Setenv": true, "Unsetenv": true,
+}
+
+// uncheckedMethods are the method names of the repository's durable-write
+// surface — the WAL journals (Append/Rotate/Close), the perfstore
+// (Append/Close), and buffered writers (Flush/Sync) — plus Close itself,
+// whose error is the only place a deferred final write can fail. The match
+// is syntactic (any receiver), which is exactly the point: every dropped
+// error on a name in this set deserves either handling or an explicit
+// //benchlint:allow uncheckederr with a reason.
+var uncheckedMethods = map[string]bool{
+	"Append": true, "Rotate": true, "Close": true, "Sync": true, "Flush": true,
+}
+
+// checkUncheckedErr enforces the durable-write invariant: error returns
+// from WAL/perfstore/os write paths may not be dropped. A statement-
+// position call of a listed os function or write-surface method — bare or
+// deferred — is flagged unless the line carries the allow directive.
+// Checked calls (`if err := j.Append(...)`) never match: the rule only
+// sees calls whose entire statement is the call itself.
+func (l *linter) checkUncheckedErr(call *ast.CallExpr, deferred bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if pkg, fn, ok := l.qualifiedCall(call); ok {
+		if pkg != "os" || !uncheckedOSFuncs[fn] {
+			return
+		}
+	} else if !uncheckedMethods[name] {
+		return
+	}
+	if l.allowUnchecked[l.fset.Position(call.Pos()).Line] {
+		return
+	}
+	how := "call"
+	if deferred {
+		how = "deferred call"
+	}
+	l.report(call.Pos(), "uncheckederr",
+		"%s of %s drops its error return (handle it, or annotate //%s with the reason)",
+		how, name, allowUncheckedDirective)
 }
 
 // checkHotpath walks the body of a benchlint:hotpath function and flags

@@ -29,12 +29,15 @@ func TestViolatingFixture(t *testing.T) {
 		rule string
 		line int
 	}{
-		{"wallclock", 15}, // time.Now in MeasureOnce
-		{"wallclock", 17}, // time.Since in MeasureOnce
-		{"globalrand", 23},
-		{"hotpath", 31},
-		{"hotpathmap", 43}, // make(map) in dispatchCached
-		{"hotpathmap", 44}, // map literal in dispatchCached
+		{"wallclock", 16}, // time.Now in MeasureOnce
+		{"wallclock", 18}, // time.Since in MeasureOnce
+		{"globalrand", 24},
+		{"hotpath", 32},
+		{"hotpathmap", 44},   // make(map) in dispatchCached
+		{"hotpathmap", 45},   // map literal in dispatchCached
+		{"uncheckederr", 64}, // bare os.Remove in Persist
+		{"uncheckederr", 65}, // bare j.Append in Persist
+		{"uncheckederr", 66}, // defer j.Close in Persist
 	}
 	if len(fs) != len(want) {
 		t.Fatalf("got %d findings, want %d:\n%v", len(fs), len(want), fs)
@@ -52,7 +55,7 @@ func TestViolatingFixture(t *testing.T) {
 			t.Errorf("unexpected finding %v", f)
 		}
 	}
-	for _, r := range []string{"wallclock", "globalrand", "hotpath", "hotpathmap"} {
+	for _, r := range []string{"wallclock", "globalrand", "hotpath", "hotpathmap", "uncheckederr"} {
 		if !seen[r] {
 			t.Errorf("rule %s produced no finding", r)
 		}

@@ -6,6 +6,7 @@ package clean
 
 import (
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -57,4 +58,22 @@ func dispatchCounted(ops []int, counts map[int]int) int {
 func timeTable() int {
 	time := []int{1, 2, 3}
 	return len(time)
+}
+
+// persist handles every durable-write error: checked calls, an annotated
+// deliberate drop, and a local method named like a write op (Flush on a
+// local variable is still flagged-by-name, so it carries the directive).
+func persist(j interface {
+	Append([]byte) error
+	Close() error
+}) error {
+	if err := j.Append(nil); err != nil {
+		return err
+	}
+	if err := os.Remove("stale.json"); err != nil {
+		return err
+	}
+	//benchlint:allow uncheckederr — cleanup; the append error wins
+	defer j.Close()
+	return nil
 }

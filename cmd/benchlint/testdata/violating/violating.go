@@ -5,6 +5,7 @@ package violating
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 )
 
@@ -52,4 +53,15 @@ func dispatchCached(ops []int) int {
 func SanctionedStamp() time.Time {
 	//benchlint:allow clock
 	return time.Now()
+}
+
+// Persist drops error returns on the durable-write surface: a bare os
+// write-path call and an unchecked journal-style Close/Append.
+func Persist(j interface {
+	Append([]byte) error
+	Close() error
+}) {
+	os.Remove("stale.json") // violation: uncheckederr
+	j.Append(nil)           // violation: uncheckederr
+	defer j.Close()         // violation: uncheckederr
 }

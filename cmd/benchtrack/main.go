@@ -131,8 +131,13 @@ func (o *observability) finish(stdout, stderr io.Writer) bool {
 			fmt.Fprintln(stderr, "benchtrack: creating trace file:", err)
 			return false
 		}
-		defer f.Close()
 		if err := o.tracer.Export(f); err != nil {
+			//benchlint:allow uncheckederr — cleanup; the Export error wins
+			f.Close()
+			fmt.Fprintln(stderr, "benchtrack: writing trace:", err)
+			return false
+		}
+		if err := f.Close(); err != nil {
 			fmt.Fprintln(stderr, "benchtrack: writing trace:", err)
 			return false
 		}
@@ -162,7 +167,7 @@ func openStore(path string, stderr io.Writer) (*perfstore.Store, int) {
 	return store, exitcode.OK
 }
 
-func runIngest(args []string, stdout, stderr io.Writer) int {
+func runIngest(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("benchtrack ingest", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -194,7 +199,16 @@ func runIngest(args []string, stdout, stderr io.Writer) int {
 	if code != exitcode.OK {
 		return code
 	}
-	defer store.Close()
+	// The journal is a write path here: a failed final close can lose the
+	// last appended record, so it must surface as an infra failure.
+	defer func() {
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(stderr, "benchtrack: closing history:", err)
+			if code == exitcode.OK {
+				code = exitcode.Infra
+			}
+		}
+	}()
 
 	ingested := obs.reg.Counter("benchtrack_ingested_runs_total", "run records appended by ingest")
 	points := obs.reg.Counter("benchtrack_ingested_points_total", "benchmark points appended by ingest")
@@ -283,6 +297,7 @@ func runReport(args []string, stdout, stderr io.Writer) int {
 	if code != exitcode.OK {
 		return code
 	}
+	//benchlint:allow uncheckederr — read-only use of the journal
 	defer store.Close()
 
 	span := obs.tracer.Begin(trace.CatTrack, "analyze", "history", *histPath)
@@ -324,7 +339,7 @@ func runReport(args []string, stdout, stderr io.Writer) int {
 	return exitcode.OK
 }
 
-func runAck(args []string, stdout, stderr io.Writer) int {
+func runAck(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("benchtrack ack", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -344,7 +359,16 @@ func runAck(args []string, stdout, stderr io.Writer) int {
 	if code != exitcode.OK {
 		return code
 	}
-	defer store.Close()
+	// The journal is a write path here: a failed final close can lose the
+	// last appended record, so it must surface as an infra failure.
+	defer func() {
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(stderr, "benchtrack: closing history:", err)
+			if code == exitcode.OK {
+				code = exitcode.Infra
+			}
+		}
+	}()
 
 	// Refuse to ack ids that no current changepoint carries: a typo'd ack
 	// would silently arm itself against a future alert.
@@ -392,6 +416,7 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 	if code != exitcode.OK {
 		return code
 	}
+	//benchlint:allow uncheckederr — read-only use of the journal
 	defer store.Close()
 	line := perfstore.TrendLine(store.Runs(), store.Acked(), *bench, *lastN)
 	if line == "" {

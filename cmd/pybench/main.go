@@ -78,7 +78,7 @@ func main() {
 	}
 	var (
 		list        = flag.Bool("list", false, "list benchmarks and experiment ids")
-		exp         = flag.String("exp", "", "experiment id (T1..T5, F1..F8, A1..A7) or 'all'")
+		exp         = flag.String("exp", "", "experiment id (T1..T5, F1..F8, A1..A8) or 'all'")
 		bench       = flag.String("bench", "", "run a single benchmark experiment")
 		mode        = flag.String("mode", "interp", "engine for -bench: interp or jit")
 		invocations = flag.Int("invocations", 0, "invocations per experiment (0 = default)")
@@ -102,7 +102,7 @@ func main() {
 		collapsed   = flag.String("collapsed", "", "with -profile: also write folded call stacks to FILE (flamegraph.pl / speedscope format)")
 		workers     = flag.Int("workers", 1, "worker shards for -bench/-suite/-exp invocation execution (1 = sequential; the sample set is identical either way)")
 		parPolicy   = flag.String("parallel-policy", "guard", "interference-guard policy for -workers > 1: guard (flag contention), fallback (revert to sequential), force (skip probes)")
-		optLevel    = flag.Int("opt", 0, "bytecode-optimization level for -bench/-dis: 0 = off, 1 = peephole, 2 = +superinstructions (changes the simulated opcode stream; a distinct experiment arm, see ablation A7)")
+		optLevel    = flag.Int("opt", 0, "bytecode-optimization level for -bench/-dis: 0 = off, 1 = peephole, 2 = +superinstructions, 3 = +certificate-gated rewrites (changes the simulated opcode stream; distinct experiment arms, see ablations A7/A8)")
 		isolate     = flag.Bool("isolate", false, "run each invocation attempt in a watchdogged worker subprocess (crash isolation; the sample set is bit-identical to in-process execution)")
 		watchdog    = flag.Duration("watchdog", 0, "with -isolate: per-attempt deadline before a hung worker is killed (0 = 30s default)")
 		showVersion = flag.Bool("version", false, "print version, Go version, and platform, then exit")
@@ -308,6 +308,7 @@ func (o *observability) finish(w *os.File, printMetrics bool) error {
 			return fmt.Errorf("writing trace: %w", err)
 		}
 		if err := o.obs.Trace.Export(f); err != nil {
+			//benchlint:allow uncheckederr — cleanup; the Export error wins
 			f.Close()
 			return fmt.Errorf("writing trace: %w", err)
 		}
@@ -600,9 +601,9 @@ func doLint(style renderStyle) error {
 		}
 		s := rep.Summarize()
 		det := "yes"
-		if !s.Determinism.Certified {
+		if !s.Certificate.Determinism.Certified {
 			det = "NO"
-		} else if s.Determinism.UsesIO {
+		} else if s.Certificate.Determinism.UsesIO {
 			det = "yes (io)"
 		}
 		verdict := "ok"
@@ -619,7 +620,7 @@ func doLint(style renderStyle) error {
 				fmt.Fprintf(os.Stderr, "pybench: %s: %s\n", b.Name, d)
 			}
 		}
-		if !s.Determinism.Certified {
+		if !s.Certificate.Determinism.Certified {
 			findings++
 		}
 	}
@@ -698,6 +699,7 @@ func doProfile(name, collapsedPath string) error {
 			return fmt.Errorf("writing collapsed stacks: %w", err)
 		}
 		if err := prof.WriteCollapsed(f); err != nil {
+			//benchlint:allow uncheckederr — cleanup; the write error wins
 			f.Close()
 			return fmt.Errorf("writing collapsed stacks: %w", err)
 		}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFiles materializes named sources under a temp dir and returns it.
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = "def run():\n    return 40 + 2\n"
+
+// deadStoreSrc carries a warning-severity finding (the first assignment to
+// x is dead) but no errors: clean by default, a finding under -strict.
+const deadStoreSrc = "def run():\n    x = 1\n    x = 2\n    return x\n"
+
+// useBeforeDefSrc reads local x before any assignment reaches the use —
+// an error-severity use-before-def diagnostic.
+const useBeforeDefSrc = "def run():\n    y = x\n    x = 1\n    return y\n"
+
+// TestExitTaxonomy drives run() through every exit path of the repository
+// taxonomy: 0 clean, 1 finding, 2 usage, 3 infrastructure — the same
+// table-driven proof the other commands carry.
+func TestExitTaxonomy(t *testing.T) {
+	tests := []struct {
+		name    string
+		files   map[string]string // materialized in a temp dir; %d/ expands to it
+		args    []string
+		want    int
+		wantOut string // substring that must appear on stdout
+		wantErr string // substring that must appear on stderr
+	}{
+		{
+			name:  "clean source exits 0",
+			files: map[string]string{"clean.py": cleanSrc},
+			args:  []string{"%d/clean.py"},
+			want:  0,
+		},
+		{
+			name:    "error-severity finding exits 1",
+			files:   map[string]string{"ubd.py": useBeforeDefSrc},
+			args:    []string{"%d/ubd.py"},
+			want:    1,
+			wantOut: "use-before-def",
+		},
+		{
+			name:    "parse failure is a finding about the program, exits 1",
+			files:   map[string]string{"broken.py": "def run(:\n"},
+			args:    []string{"%d/broken.py"},
+			want:    1,
+			wantErr: "broken.py",
+		},
+		{
+			name:  "warning alone stays clean without -strict",
+			files: map[string]string{"dead.py": deadStoreSrc},
+			args:  []string{"%d/dead.py"},
+			want:  0,
+		},
+		{
+			name:    "-strict promotes warnings to findings, exits 1",
+			files:   map[string]string{"dead.py": deadStoreSrc},
+			args:    []string{"-strict", "%d/dead.py"},
+			want:    1,
+			wantOut: "dead-store",
+		},
+		{
+			name: "no arguments is a usage error, exits 2",
+			args: []string{},
+			want: 2,
+		},
+		{
+			name: "unknown flag is a usage error, exits 2",
+			args: []string{"-no-such-flag"},
+			want: 2,
+		},
+		{
+			name:    "unknown benchmark is a usage error, exits 2",
+			args:    []string{"-bench", "no-such-bench"},
+			want:    2,
+			wantErr: "unknown benchmark",
+		},
+		{
+			name:    "unreadable input is infrastructure, exits 3",
+			args:    []string{"%d/does-not-exist.py"},
+			want:    3,
+			wantErr: "does-not-exist.py",
+		},
+		{
+			name:    "-bench resolves shipped workloads, exits 0",
+			args:    []string{"-bench", "fib"},
+			want:    0,
+			wantOut: "deterministic",
+		},
+		{
+			name:    "-facts dumps the certificate JSON",
+			args:    []string{"-facts", "-q", "-bench", "fib"},
+			want:    0,
+			wantOut: "\"step_bound\"",
+		},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeFiles(t, tc.files)
+			args := make([]string, len(tc.args))
+			for i, a := range tc.args {
+				args[i] = strings.ReplaceAll(a, "%d", dir)
+			}
+			var stdout, stderr bytes.Buffer
+			got := run(args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					args, got, tc.want, stdout.String(), stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestFactsMatchesAnalyzeCertificate pins that the -facts dump is the
+// certificate itself (version header, per-function facts, step bound) and
+// that a bounded workload reports its concrete bound through the CLI.
+func TestFactsMatchesAnalyzeCertificate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-facts", "-q", "-bench", "matmul"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"\"version\": 1",
+		"\"determinism\"",
+		"\"functions\"",
+		"\"bounded\": true",
+		"\"module_steps\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-facts output missing %q:\n%s", want, out)
+		}
+	}
+}

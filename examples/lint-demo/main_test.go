@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// TestFactsDemoOutcomes dogfoods the example: the two demo programs must
+// keep demonstrating what the README promises. The licensed guard is
+// elided at -opt 3 (strictly fewer compares than the baseline, counting
+// fused BINARY_JUMP_IF_FALSE so -opt 2 fusion cannot fake an elision);
+// the refused guard survives untouched; and both programs compute the
+// same result before and after — the transparency invariant every
+// certificate-gated rewrite rides on.
+func TestFactsDemoOutcomes(t *testing.T) {
+	licensed, err := factsDemo("licensed", guardLicensed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !licensed.fired {
+		t.Errorf("licensed guard was not elided: compares %d -> %d",
+			licensed.binBase, licensed.binOpt)
+	}
+	if licensed.baseResult != licensed.optResult {
+		t.Errorf("licensed elision changed semantics: %s != %s",
+			licensed.baseResult, licensed.optResult)
+	}
+	if licensed.baseResult != "1770" { // sum of 0..59
+		t.Errorf("licensed demo computes %s, want 1770", licensed.baseResult)
+	}
+
+	refused, err := factsDemo("refused", guardRefused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refused.fired {
+		t.Errorf("undecidable guard was elided: compares %d -> %d",
+			refused.binBase, refused.binOpt)
+	}
+	if refused.baseResult != refused.optResult {
+		t.Errorf("refusal path changed semantics: %s != %s",
+			refused.baseResult, refused.optResult)
+	}
+	if refused.baseResult != "30" { // i < 30 holds on exactly 30 iterations
+		t.Errorf("refused demo computes %s, want 30", refused.baseResult)
+	}
+}

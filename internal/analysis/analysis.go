@@ -86,29 +86,24 @@ type FuncReport struct {
 	Types []string
 }
 
-// Certificate is the determinism/purity audit result for a whole module: the
-// evidence that a workload can only compute seed-determined results. It is
-// embedded in -json reports so every archived result carries its own
-// validity argument (DESIGN.md §9).
-type Certificate struct {
-	// Certified is true when every global the module reads is either
-	// defined by the module itself or a deterministic builtin.
-	Certified bool `json:"certified"`
-	// Builtins lists the deterministic builtins the module calls, sorted.
-	Builtins []string `json:"builtins,omitempty"`
-	// UnresolvedGlobals lists globals that are neither module-defined nor
-	// known builtins; any entry voids certification.
-	UnresolvedGlobals []string `json:"unresolved_globals,omitempty"`
-	// UsesIO reports whether the module touches an IO builtin (print).
-	UsesIO bool `json:"uses_io"`
-}
-
 // Report is the full analysis result for a module and all nested functions.
 type Report struct {
 	Funcs       []*FuncReport
 	Diagnostics []Diagnostic
-	Certificate Certificate
+	// Certificate is the versioned proof-carrying artifact (facts.go):
+	// determinism audit, per-function interprocedural facts, step bound.
+	Certificate *Certificate
+
+	// facts is the internal pointer-rich store behind Certificate,
+	// consumed by the optimizer fact gates, the harness budget, and the
+	// VM soundness checker.
+	facts *ModuleFacts
 }
+
+// Facts exposes the internal fact store (keyed by *minipy.Code) for
+// in-process consumers: the soundness checker and the harness step-budget
+// machinery.
+func (r *Report) Facts() *ModuleFacts { return r.facts }
 
 // Errors returns the error-severity diagnostics.
 func (r *Report) Errors() []Diagnostic {
@@ -136,21 +131,21 @@ func (r *Report) Warnings() []Diagnostic {
 // "analysis" key of -json reports. All fields are deterministic functions of
 // the bytecode, so the golden-file determinism test covers them.
 type Summary struct {
-	Functions         int         `json:"functions"`
-	Blocks            int         `json:"blocks"`
-	Instructions      int         `json:"instructions"`
-	UnreachableInstrs int         `json:"unreachable_instructions"`
-	DeadStores        int         `json:"dead_stores"`
-	UnusedLoopVars    int         `json:"unused_loop_vars"`
-	TypedInstrPct     float64     `json:"typed_instruction_pct"`
-	Errors            int         `json:"errors"`
-	Warnings          int         `json:"warnings"`
-	Determinism       Certificate `json:"determinism"`
+	Functions         int          `json:"functions"`
+	Blocks            int          `json:"blocks"`
+	Instructions      int          `json:"instructions"`
+	UnreachableInstrs int          `json:"unreachable_instructions"`
+	DeadStores        int          `json:"dead_stores"`
+	UnusedLoopVars    int          `json:"unused_loop_vars"`
+	TypedInstrPct     float64      `json:"typed_instruction_pct"`
+	Errors            int          `json:"errors"`
+	Warnings          int          `json:"warnings"`
+	Certificate       *Certificate `json:"certificate"`
 }
 
 // Summarize folds a report into its JSON digest.
 func (r *Report) Summarize() *Summary {
-	s := &Summary{Functions: len(r.Funcs), Determinism: r.Certificate}
+	s := &Summary{Functions: len(r.Funcs), Certificate: r.Certificate}
 	typed, reachable := 0, 0
 	for _, f := range r.Funcs {
 		s.Blocks += len(f.Graph.Blocks)
@@ -196,7 +191,8 @@ func Analyze(code *minipy.Code) (*Report, error) {
 		}
 	}
 	walk(code)
-	r.Certificate = audit(code, mctx)
+	r.facts = InterprocAnalyze(code, mctx)
+	r.Certificate = buildCertificate(r.facts)
 	sortDiagnostics(r)
 	return r, nil
 }

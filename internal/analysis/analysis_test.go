@@ -241,7 +241,7 @@ func TestDeterminismCertificate(t *testing.T) {
 def run():
     return sqrt(2.0) + len([1, 2])
 `)
-	cert := rep.Certificate
+	cert := rep.Certificate.Determinism
 	if !cert.Certified {
 		t.Fatalf("pure workload not certified: %+v", cert)
 	}
@@ -258,7 +258,7 @@ def run():
     print("hi")
     return 0
 `)
-	if !rep.Certificate.Certified || !rep.Certificate.UsesIO {
+	if !rep.Certificate.Determinism.Certified || !rep.Certificate.Determinism.UsesIO {
 		t.Errorf("print: want certified with UsesIO, got %+v", rep.Certificate)
 	}
 
@@ -266,7 +266,7 @@ def run():
 def run():
     return mystery_global()
 `)
-	cert = rep.Certificate
+	cert = rep.Certificate.Determinism
 	if cert.Certified {
 		t.Error("unresolved global must void certification")
 	}
@@ -294,8 +294,8 @@ def run():
 	if s.TypedInstrPct <= 0 || s.TypedInstrPct > 100 {
 		t.Errorf("typed pct out of range: %v", s.TypedInstrPct)
 	}
-	if !s.Determinism.Certified {
-		t.Errorf("expected certification: %+v", s.Determinism)
+	if !s.Certificate.Determinism.Certified {
+		t.Errorf("expected certification: %+v", s.Certificate.Determinism)
 	}
 }
 

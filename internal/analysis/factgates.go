@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"repro/internal/minipy"
+	"repro/internal/vm"
+)
+
+// Fact-gated optimization transforms (DESIGN.md §14). The abstract
+// interpreter proposes candidate sites (decided guards, constant-argument
+// calls); this file applies the licensing checks — effect purity, raise
+// safety, window integrity — and emits the minipy.OptFacts entries the
+// level-3 optimizer passes consume. Every gate errs toward refusal: a
+// refused transform costs a few ops, an unsound one corrupts a sample set.
+
+// foldBudget bounds the compile-time evaluation of a pure call. A callee
+// that cannot finish inside it is refused, not trusted.
+const (
+	foldMaxSteps = 4096
+	foldMaxDepth = 64
+)
+
+// addFactGates fills facts.PureCalls and facts.ElidedGuards from the
+// module facts.
+func addFactGates(facts *minipy.OptFacts, m *ModuleFacts) {
+	for c, r := range m.Runs {
+		g := m.graphs[c]
+		if g == nil {
+			continue
+		}
+		for pc, gf := range r.guards {
+			if !guardWindowOK(c, g, r, pc) {
+				continue
+			}
+			if facts.ElidedGuards == nil {
+				facts.ElidedGuards = map[*minipy.Code]map[int]minipy.GuardFact{}
+			}
+			if facts.ElidedGuards[c] == nil {
+				facts.ElidedGuards[c] = map[int]minipy.GuardFact{}
+			}
+			facts.ElidedGuards[c][pc] = minipy.GuardFact{Taken: gf.taken}
+		}
+		for pc, fs := range r.folds {
+			result, ok := tryFold(m, c, g, pc, fs)
+			if !ok {
+				continue
+			}
+			if facts.PureCalls == nil {
+				facts.PureCalls = map[*minipy.Code]map[int]minipy.PureCallFact{}
+			}
+			if facts.PureCalls[c] == nil {
+				facts.PureCalls[c] = map[int]minipy.PureCallFact{}
+			}
+			facts.PureCalls[c][pc] = minipy.PureCallFact{
+				Start: fs.start, Argc: fs.argc, Result: result,
+			}
+		}
+	}
+}
+
+// guardWindowOK licenses eliding the 4-op window
+// `load; load; compare; jump-if` at pcs [pc-2, pc+1]:
+//   - the comparison outcome was statically decided (caller checked),
+//   - both loads are proven raise-free (constants or definitely-assigned
+//     locals), so removing them removes no observable behavior,
+//   - the jump is a plain JumpIfFalse/JumpIfTrue (the Keep variants leave
+//     a value on one path — a different stack shape),
+//   - the whole window sits in one basic block, so control cannot enter
+//     mid-pattern.
+func guardWindowOK(c *minipy.Code, g *Graph, r *absRun, pc int) bool {
+	if pc < 2 || pc+1 >= len(c.Ops) {
+		return false
+	}
+	if c.Ops[pc].Op != minipy.OpBinary || !isCompare(minipy.BinOpCode(c.Ops[pc].Arg)) {
+		return false
+	}
+	switch c.Ops[pc+1].Op {
+	case minipy.OpJumpIfFalse, minipy.OpJumpIfTrue:
+	default:
+		return false
+	}
+	if !r.safeLoads[pc-2] || !r.safeLoads[pc-1] {
+		return false
+	}
+	return g.BlockOf[pc-2] == g.BlockOf[pc+1]
+}
+
+// tryFold licenses and evaluates one pure-call fold candidate. The callee
+// must be effect-free in the strongest sense the analysis can certify —
+// complete call graph, no global reads at all (which self-refuses
+// recursion: a recursive function loads its own binding), no writes, no
+// IO, no heap mutation, no captured cells — and the call is then executed
+// once, at analysis time, in a sandboxed VM. Any error (raise, step
+// budget, depth) refuses the fold; a non-scalar result refuses it too
+// (object identity is observable).
+func tryFold(m *ModuleFacts, c *minipy.Code, g *Graph, pc int, fs foldSite) (minipy.Value, bool) {
+	callee := m.Bindings[fs.name]
+	if callee == nil || len(callee.FreeNames) > 0 {
+		return nil, false
+	}
+	eff := m.Effects[callee]
+	if eff == nil || !eff.Complete || eff.UsesIO || eff.MutatesHeap ||
+		eff.MayMutateArgs || eff.MayDiverge ||
+		len(eff.ReadsGlobals) > 0 || len(eff.WritesGlobals) > 0 {
+		return nil, false
+	}
+	// Window integrity: one block, and the exact shape the recording pass
+	// saw (LOAD_GLOBAL name; LOAD_CONST×argc; CALL).
+	if fs.start < 0 || pc >= len(c.Ops) || g.BlockOf[fs.start] != g.BlockOf[pc] {
+		return nil, false
+	}
+	if !allConstScalars(c, pc, fs.argc, fs.name) {
+		return nil, false
+	}
+	if ins := c.Ops[pc]; ins.Op != minipy.OpCall || int(ins.Arg) != fs.argc {
+		return nil, false
+	}
+	args := make([]minipy.Value, fs.argc)
+	for i := 0; i < fs.argc; i++ {
+		args[i] = c.Consts[c.Ops[fs.start+1+i].Arg]
+	}
+	in := vm.New(vm.Config{MaxSteps: foldMaxSteps, MaxDepth: foldMaxDepth})
+	in.Globals["__fold__"] = &minipy.Function{Code: callee}
+	res, err := in.CallGlobal("__fold__", args...)
+	if err != nil {
+		return nil, false
+	}
+	switch res.(type) {
+	case minipy.Int, minipy.Float, minipy.Bool, minipy.Str, minipy.NoneType:
+		return res, true
+	}
+	return nil, false
+}

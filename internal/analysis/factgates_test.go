@@ -1,0 +1,188 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/minipy"
+	"repro/internal/vm"
+)
+
+// findFunc returns the code object named name from the module's constant
+// pool (one level deep is enough for these programs).
+func findFunc(t *testing.T, module *minipy.Code, name string) *minipy.Code {
+	t.Helper()
+	for _, k := range module.Consts {
+		if c, ok := k.(*minipy.Code); ok && c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("function %s not found in module consts", name)
+	return nil
+}
+
+func countOp(c *minipy.Code, op minipy.Op) int {
+	n := 0
+	for _, ins := range c.Ops {
+		if ins.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func optimizeAt(t *testing.T, src string, level int) (*minipy.Code, *minipy.Code) {
+	t.Helper()
+	base, err := minipy.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opt, err := minipy.Optimize(base, level, analysis.OptimizationFacts(base))
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return base, opt
+}
+
+func runOnce(t *testing.T, code *minipy.Code) minipy.Value {
+	t.Helper()
+	in := vm.New(vm.Config{Mode: vm.ModeInterp})
+	if _, err := in.RunModule(code); err != nil {
+		t.Fatalf("module: %v", err)
+	}
+	v, err := in.CallGlobal("run")
+	if err != nil {
+		t.Fatalf("run(): %v", err)
+	}
+	return v
+}
+
+// TestPureCallFolding: a call of a certified-pure function on constant
+// arguments is rewritten to its precomputed result at -opt 3 — the OpCall
+// disappears from run() and the observable result is unchanged.
+func TestPureCallFolding(t *testing.T) {
+	src := `
+def add3(a, b, c):
+    return a + b + c
+
+def run():
+    return add3(10, 20, 12) + 100
+`
+	base, opt := optimizeAt(t, src, 3)
+	if got := countOp(findFunc(t, opt, "run"), minipy.OpCall); got != 0 {
+		t.Fatalf("pure call not folded: run() still has %d OpCall", got)
+	}
+	want := runOnce(t, base).Repr()
+	if got := runOnce(t, opt).Repr(); got != want {
+		t.Fatalf("folding changed semantics: got %s want %s", got, want)
+	}
+	// The same program at -opt 2 must keep the call: folding is gated on
+	// the certificate level, not on pattern matching alone.
+	_, opt2 := optimizeAt(t, src, 2)
+	if got := countOp(findFunc(t, opt2, "run"), minipy.OpCall); got == 0 {
+		t.Fatal("pure-call folding leaked into -opt 2")
+	}
+}
+
+// TestPureCallFoldingRefusals: each program has a call the folder MUST
+// leave alone — effects, divergence risk, or unresolvable arguments make
+// the certificate refuse the license.
+func TestPureCallFoldingRefusals(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"io", `
+def shout(a):
+    print(a)
+    return a
+
+def run():
+    return shout(7)
+`},
+		{"writes-global", `
+counter = 0
+
+def bump(a):
+    global_effect = counter
+    return a + global_effect
+
+def run():
+    return bump(3)
+`},
+		{"recursive", `
+def fac(n):
+    if n < 2:
+        return 1
+    return n * fac(n - 1)
+
+def run():
+    return fac(5)
+`},
+		{"nonconst-args", `
+def add(a, b):
+    return a + b
+
+def run():
+    x = 4
+    return add(x, 5)
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, opt := optimizeAt(t, tc.src, 3)
+			if got := countOp(findFunc(t, opt, "run"), minipy.OpCall); got == 0 {
+				t.Fatal("folder rewrote a call it must refuse")
+			}
+			want := runOnce(t, base).Repr()
+			if got := runOnce(t, opt).Repr(); got != want {
+				t.Fatalf("semantics changed: got %s want %s", got, want)
+			}
+		})
+	}
+}
+
+// TestGuardElision: a compare whose outcome the interval analysis decides
+// statically is removed at -opt 3, along with its conditional jump.
+func TestGuardElision(t *testing.T) {
+	src := `
+def run():
+    n = 10
+    total = 0
+    for i in range(50):
+        if n < 20:
+            total += i
+    return total
+`
+	base, opt := optimizeAt(t, src, 3)
+	bBase := countOp(findFunc(t, base, "run"), minipy.OpBinary)
+	bOpt := countOp(findFunc(t, opt, "run"), minipy.OpBinary)
+	if bOpt >= bBase {
+		t.Fatalf("decided guard not elided: %d OpBinary before, %d after", bBase, bOpt)
+	}
+	want := runOnce(t, base).Repr()
+	if got := runOnce(t, opt).Repr(); got != want {
+		t.Fatalf("elision changed semantics: got %s want %s", got, want)
+	}
+}
+
+// TestGuardElisionRefusal: a compare whose outcome varies at runtime must
+// survive every optimization level — the interval analysis cannot decide
+// `i < 25` for i in [0,49], so no license is issued.
+func TestGuardElisionRefusal(t *testing.T) {
+	src := `
+def run():
+    total = 0
+    for i in range(50):
+        if i < 25:
+            total += 1
+    return total
+`
+	base, opt := optimizeAt(t, src, 3)
+	want := runOnce(t, base).Repr()
+	if got := runOnce(t, opt).Repr(); got != want {
+		t.Fatalf("semantics changed: got %s want %s", got, want)
+	}
+	if want != "25" {
+		t.Fatalf("undecidable guard mis-evaluated: run() = %s", want)
+	}
+}

@@ -1,0 +1,79 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden certificate files")
+
+// goldenBenchmarks are the representative certificate shapes pinned byte-
+// for-byte: a bounded workload (matmul: every loop is a counted range),
+// an unbounded recursive one (fib), one with data-dependent control flow
+// (branchy), and one exercising dict/string effects (wordcount).
+var goldenBenchmarks = []string{"fib", "matmul", "branchy", "wordcount"}
+
+// certJSON analyzes one suite workload and renders its certificate the way
+// `pybench -json` and `pylint -facts` do: json.MarshalIndent over the
+// Certificate struct. Any map iteration leaking into the encoder, any
+// nondeterministic slice order in the analyses, shows up as byte drift.
+func certJSON(t *testing.T, name string) []byte {
+	t.Helper()
+	b, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("no such workload %q", name)
+	}
+	rep, err := b.Analyze()
+	if err != nil {
+		t.Fatalf("analyze %s: %v", name, err)
+	}
+	buf, err := json.MarshalIndent(rep.Certificate, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal certificate: %v", err)
+	}
+	return append(buf, '\n')
+}
+
+// TestCertificateGolden pins the JSON certificate of representative
+// workloads byte-for-byte against committed golden files, after first
+// asserting two independent analysis runs agree with each other. The
+// double-run check separates "the analysis is nondeterministic" (fails
+// even with -update) from "the certificate format changed" (regenerate
+// with -update and review the diff — a format change is a Version bump).
+func TestCertificateGolden(t *testing.T) {
+	for _, name := range goldenBenchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			first := certJSON(t, name)
+			second := certJSON(t, name)
+			if !bytes.Equal(first, second) {
+				t.Fatalf("two analysis runs of %s produced different certificates:\n--- first\n%s\n--- second\n%s",
+					name, first, second)
+			}
+			golden := filepath.Join("testdata", name+".cert.golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, first, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(first, want) {
+				t.Errorf("certificate drifted from golden file %s (run with -update if intentional; format changes need a Version bump)\n--- got\n%s",
+					golden, first)
+			}
+		})
+	}
+}

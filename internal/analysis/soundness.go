@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/minipy"
+	"repro/internal/vm"
+)
+
+// SoundnessChecker enforces the certificate at runtime (DESIGN.md §14): it
+// implements vm.ValueTracer and compares every executed op against the
+// claims in a ModuleFacts computed over the EXACT code objects the VM is
+// running. Three claim families are checked:
+//
+//   - interval claims: an op with a recorded claim must leave a
+//     minipy.Int inside the claimed range on top of the stack;
+//   - effect claims: a frame may only read/write globals its function's
+//     transitive effect summary admits;
+//   - escape claims: a call of a function certified ReturnsFresh=false
+//     must not return an object allocated during that callee's activation
+//     (checked against the synthetic-heap watermark).
+//
+// Violations are recorded, not panicked, so a property test can run a
+// whole workload and assert the list is empty. The checker is a test/
+// debugging instrument: it does map lookups per op and is never attached
+// on a measurement path.
+type SoundnessChecker struct {
+	facts *ModuleFacts
+	in    *vm.Interp
+
+	frames     []sframe
+	violations []Violation
+}
+
+// Violation is one observed contradiction between execution and the
+// certificate.
+type Violation struct {
+	Func string
+	PC   int
+	Kind string // "interval", "effect-read", "effect-write", "escape", "stack"
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s pc %d [%s]: %s", v.Func, v.PC, v.Kind, v.Msg)
+}
+
+type sframe struct {
+	code *minipy.Code
+	mark uint64 // heap watermark at frame entry
+	// lastExit/lastExitMark identify the callee frame that just returned,
+	// consumed by the caller's OpCall post-op check and cleared at the
+	// next op dispatch.
+	lastExit     *minipy.Code
+	lastExitMark uint64
+}
+
+// NewSoundnessChecker builds a checker over facts. Attach must be called
+// with the interpreter before execution (the heap watermark lives there).
+func NewSoundnessChecker(facts *ModuleFacts) *SoundnessChecker {
+	return &SoundnessChecker{facts: facts}
+}
+
+// Attach binds the checker to the interpreter whose Config.Tracer it is.
+func (c *SoundnessChecker) Attach(in *vm.Interp) { c.in = in }
+
+// Violations returns everything observed so far.
+func (c *SoundnessChecker) Violations() []Violation { return c.violations }
+
+func (c *SoundnessChecker) fail(code *minipy.Code, pc int, kind, format string, args ...any) {
+	// Cap the list: a broken claim inside a hot loop would otherwise
+	// record millions of identical entries.
+	if len(c.violations) >= 64 {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Func: code.Name, PC: pc, Kind: kind, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// OnEnter implements vm.Tracer.
+func (c *SoundnessChecker) OnEnter(code *minipy.Code) {
+	var mark uint64
+	if c.in != nil {
+		mark = c.in.HeapMark()
+	}
+	c.frames = append(c.frames, sframe{code: code, mark: mark})
+}
+
+// OnExit implements vm.Tracer.
+func (c *SoundnessChecker) OnExit(code *minipy.Code) {
+	n := len(c.frames)
+	if n == 0 {
+		return
+	}
+	popped := c.frames[n-1]
+	c.frames = c.frames[:n-1]
+	if n >= 2 {
+		c.frames[n-2].lastExit = popped.code
+		c.frames[n-2].lastExitMark = popped.mark
+	}
+}
+
+// OnOp implements vm.Tracer: effect claims are checked before the op
+// executes (the op's identity is the effect).
+func (c *SoundnessChecker) OnOp(code *minipy.Code, pc int, op minipy.Op, cycles uint64) {
+	if n := len(c.frames); n > 0 {
+		c.frames[n-1].lastExit = nil
+	}
+	eff := c.facts.Effects[code]
+	if eff == nil {
+		return
+	}
+	switch op {
+	case minipy.OpLoadGlobal:
+		name := code.Names[code.Ops[pc].Arg]
+		if !containsStr(eff.ReadsGlobals, name) && !containsStr(eff.Builtins, name) {
+			c.fail(code, pc, "effect-read",
+				"reads global %q not in certified effect summary", name)
+		}
+	case minipy.OpStoreGlobal:
+		name := code.Names[code.Ops[pc].Arg]
+		if !containsStr(eff.WritesGlobals, name) {
+			c.fail(code, pc, "effect-write",
+				"writes global %q not in certified effect summary", name)
+		}
+	}
+}
+
+// OnValue implements vm.ValueTracer: interval and escape claims are
+// checked after the op completes.
+func (c *SoundnessChecker) OnValue(code *minipy.Code, pc int, op minipy.Op, stack []minipy.Value) {
+	run := c.facts.Runs[code]
+	if run == nil {
+		return
+	}
+	if iv, ok := run.claims[pc]; ok {
+		if len(stack) == 0 {
+			c.fail(code, pc, "stack", "claimed op left an empty stack")
+			return
+		}
+		top := stack[len(stack)-1]
+		x, isInt := top.(minipy.Int)
+		if !isInt {
+			c.fail(code, pc, "interval",
+				"claimed %s but op produced %s (%s)", iv, top.TypeName(), top.Repr())
+		} else if !iv.contains(int64(x)) {
+			c.fail(code, pc, "interval",
+				"claimed %s but op produced %d", iv, int64(x))
+		}
+	}
+	if op == minipy.OpCall {
+		c.checkCallEscape(code, pc, stack)
+	}
+}
+
+// checkCallEscape verifies the ReturnsFresh=false claim at a resolved call
+// site: if the frame that just returned is the expected callee and its
+// certificate says it never returns a fresh object, the call's result must
+// have been allocated before the callee's activation began.
+func (c *SoundnessChecker) checkCallEscape(code *minipy.Code, pc int, stack []minipy.Value) {
+	n := len(c.frames)
+	if n == 0 || len(stack) == 0 {
+		return
+	}
+	fr := &c.frames[n-1]
+	if fr.lastExit == nil {
+		return
+	}
+	expected := c.facts.Callee[code][pc]
+	if expected == nil || fr.lastExit != expected {
+		return
+	}
+	calleeRun := c.facts.Runs[expected]
+	if calleeRun == nil || calleeRun.returnMayFresh {
+		return
+	}
+	if addr, ok := minipy.AddrOf(stack[len(stack)-1]); ok && addr >= fr.lastExitMark {
+		c.fail(code, pc, "escape",
+			"%s certified ReturnsFresh=false but returned object at 0x%x (activation mark 0x%x)",
+			expected.Name, addr, fr.lastExitMark)
+	}
+}
+
+func containsStr(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

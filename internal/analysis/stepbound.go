@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/minipy"
+)
+
+// Static worst-case step bounds (DESIGN.md §14). A "step" is one VM
+// instruction dispatch — the unit the harness budget machinery
+// (MaxStepsPerInvocation) already counts. A function gets a finite bound
+// when every back edge is a ForIter-headed loop with a finite trip-count
+// interval, every call site resolves to a bounded callee, and there is no
+// recursion; block costs multiply by (trip+1) per enclosing loop and sum.
+// The bound is a worst case, never an estimate: an execution can stop
+// early (raise, short iterator), but can never exceed it.
+
+// tripCap rejects absurd trip bounds before multiplication can overflow.
+const tripCap = int64(1) << 40
+
+// loopInfo is one natural loop: header block, body set, trip bound.
+type loopInfo struct {
+	header int
+	body   map[int]bool
+	trip   int64
+}
+
+// naturalLoops extracts ForIter-headed natural loops. ok=false means some
+// back edge is not a bounded ForIter loop (while loop, or unknown trip).
+func naturalLoops(g *Graph, run *absRun) (loops []*loopInfo, reason string, ok bool) {
+	byHeader := map[int]*loopInfo{}
+	for _, b := range g.Blocks {
+		if !g.Reachable[b.ID] {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !g.Dominates(s, b.ID) {
+				continue // not a back edge
+			}
+			h := g.Blocks[s]
+			forPC := h.End - 1
+			if g.Code.Ops[forPC].Op != minipy.OpForIter {
+				return nil, fmt.Sprintf("loop at pc %d is not iterator-bounded", h.Start), false
+			}
+			trip, tok := run.trips[forPC]
+			if !tok || !trip.isInt() || trip.hi < 0 || trip.hi > tripCap {
+				return nil, fmt.Sprintf("loop at pc %d has unknown trip count", forPC), false
+			}
+			li := byHeader[s]
+			if li == nil {
+				li = &loopInfo{header: s, body: map[int]bool{s: true}, trip: trip.hi}
+				byHeader[s] = li
+				loops = append(loops, li)
+			}
+			// Natural loop body: reverse flood from the back-edge source
+			// until the header.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if li.body[n] {
+					continue
+				}
+				li.body[n] = true
+				for _, p := range g.Blocks[n].Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	return loops, "", true
+}
+
+// codeBound computes one function's worst-case step bound given its
+// callees' bounds. ok=false with pending=true means a callee has no bound
+// yet (retry after more sweeps); pending=false means definitively
+// unbounded with the given reason.
+func codeBound(m *ModuleFacts, g *Graph, bounds map[*minipy.Code]int64) (
+	total int64, reason string, pending, ok bool) {
+	c := g.Code
+	run := m.Runs[c]
+	if m.Recursive[c] {
+		return 0, "recursive: " + c.Name, false, false
+	}
+	if run.callsUnknown {
+		return 0, "unresolved call in " + c.Name, false, false
+	}
+	loops, why, lok := naturalLoops(g, run)
+	if !lok {
+		return 0, c.Name + ": " + why, false, false
+	}
+	// Per-block iteration multiplier: Π (trip+1) over enclosing loops.
+	// The +1 covers the final ForIter dispatch that exits the loop.
+	mult := make([]int64, len(g.Blocks))
+	for i := range mult {
+		mult[i] = 1
+	}
+	for _, li := range loops {
+		for bid := range li.body {
+			v, mok := mulOv(mult[bid], li.trip+1)
+			if !mok || v > tripCap {
+				return 0, c.Name + ": loop product overflow", false, false
+			}
+			mult[bid] = v
+		}
+	}
+	add := func(v int64) bool {
+		s, aok := addOv(total, v)
+		if !aok {
+			return false
+		}
+		total = s
+		return true
+	}
+	for _, b := range g.Blocks {
+		if !g.Reachable[b.ID] {
+			continue
+		}
+		cost, mok := mulOv(int64(b.End-b.Start), mult[b.ID])
+		if !mok || !add(cost) {
+			return 0, c.Name + ": step sum overflow", false, false
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			sub, isCall := m.Callee[c][pc]
+			if !isCall {
+				continue
+			}
+			cb, have := bounds[sub]
+			if !have {
+				return 0, "", true, false
+			}
+			cost, mok := mulOv(cb, mult[b.ID])
+			if !mok || !add(cost) {
+				return 0, c.Name + ": step sum overflow", false, false
+			}
+		}
+	}
+	return total, "", false, true
+}
+
+// computeStepBounds runs codeBound bottom-up over the call DAG and
+// assembles the module-level StepBound (module body + one run() call).
+func computeStepBounds(m *ModuleFacts, graphs map[*minipy.Code]*Graph) (
+	map[*minipy.Code]int64, StepBound) {
+	bounds := map[*minipy.Code]int64{}
+	reasons := map[*minipy.Code]string{}
+	codes := collectCodes(m.Module)
+	for sweep := 0; sweep <= len(codes); sweep++ {
+		progress := false
+		for _, c := range codes {
+			if _, done := bounds[c]; done {
+				continue
+			}
+			if _, failed := reasons[c]; failed {
+				continue
+			}
+			total, reason, pending, ok := codeBound(m, graphs[c], bounds)
+			switch {
+			case ok:
+				bounds[c] = total
+				progress = true
+			case !pending:
+				reasons[c] = reason
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	sb := StepBound{}
+	reasonFor := func(c *minipy.Code, what string) string {
+		if r, ok := reasons[c]; ok {
+			return r
+		}
+		return what + ": callee unbounded"
+	}
+	moduleB, mok := bounds[m.Module]
+	if !mok {
+		sb.Reason = reasonFor(m.Module, "<module>")
+		return bounds, sb
+	}
+	runCode, hasRun := m.Bindings["run"]
+	if !hasRun {
+		sb.Reason = "no run() entry point"
+		return bounds, sb
+	}
+	runB, rok := bounds[runCode]
+	if !rok {
+		sb.Reason = reasonFor(runCode, "run")
+		return bounds, sb
+	}
+	sb.Bounded = true
+	sb.ModuleSteps = moduleB
+	sb.RunSteps = runB
+	return bounds, sb
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestBudgetTightensFromCertificate pins the auto-tightening contract: a
+// workload whose certificate proves a static step bound runs under a
+// budget derived from that bound instead of the 2^32 backstop, and the
+// run still completes — the proven worst case really does cover the
+// execution, iterations included.
+func TestBudgetTightensFromCertificate(t *testing.T) {
+	r := NewRunner()
+	for _, name := range []string{"matmul", "branchy"} {
+		b, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		res, err := r.Run(b, Options{Invocations: 2, Iterations: 3, Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: run under tightened budget failed: %v", name, err)
+		}
+		got := res.Opts.MaxStepsPerInvocation
+		if got >= defaultStepBudget {
+			t.Errorf("%s: budget not tightened: %d", name, got)
+		}
+		// The recorded budget must be reproducible from the certificate.
+		sb := res.Analysis.Certificate.StepBound
+		want := 2*(uint64(sb.ModuleSteps)+3*uint64(sb.RunSteps)) + 4096
+		if got != want {
+			t.Errorf("%s: budget %d, want %d from certificate", name, got, want)
+		}
+	}
+}
+
+// TestBudgetRespectsUserAndUnbounded: an explicit user budget is never
+// overridden, and an unbounded certificate leaves the backstop in place.
+func TestBudgetRespectsUserAndUnbounded(t *testing.T) {
+	r := NewRunner()
+	b, _ := workloads.ByName("matmul")
+	res, err := r.Run(b, Options{Invocations: 1, Iterations: 2, Seed: 1,
+		MaxStepsPerInvocation: 123_456_789})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := res.Opts.MaxStepsPerInvocation; got != 123_456_789 {
+		t.Errorf("user budget overridden: %d", got)
+	}
+
+	fib, _ := workloads.ByName("fib")
+	res, err = r.Run(fib, Options{Invocations: 1, Iterations: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := res.Opts.MaxStepsPerInvocation; got != defaultStepBudget {
+		t.Errorf("unbounded workload should keep the backstop, got %d", got)
+	}
+}
+
+// TestBudgetNeverFiresOnSuite is the harness-level soundness sweep the
+// issue asks for: every canonical workload, two seeds, both engines, with
+// auto-tightening active — no run may abort on its own certified budget.
+func TestBudgetNeverFiresOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite sweep")
+	}
+	r := NewRunner()
+	for _, b := range workloads.Suite() {
+		for _, seed := range []uint64{42, 43} {
+			for _, mode := range []vm.Mode{vm.ModeInterp, vm.ModeJIT} {
+				if _, err := r.Run(b, Options{Invocations: 1, Iterations: 2,
+					Seed: seed, Mode: mode}); err != nil {
+					t.Errorf("%s seed %d %v: %v", b.Name, seed, mode, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTightenBudgetGuards covers the refusal edges of the helper itself.
+func TestTightenBudgetGuards(t *testing.T) {
+	opts := Options{Iterations: 3, MaxStepsPerInvocation: defaultStepBudget}
+	if got := tightenBudget(opts, nil); got.MaxStepsPerInvocation != defaultStepBudget {
+		t.Error("nil summary must not change the budget")
+	}
+	s := &analysis.Summary{Certificate: &analysis.Certificate{}}
+	if got := tightenBudget(opts, s); got.MaxStepsPerInvocation != defaultStepBudget {
+		t.Error("unbounded certificate must not change the budget")
+	}
+	s.Certificate.StepBound = analysis.StepBound{Bounded: true, ModuleSteps: 10, RunSteps: 100}
+	if got := tightenBudget(opts, s); got.MaxStepsPerInvocation != 2*(10+3*100)+4096 {
+		t.Errorf("bounded certificate: got %d", got.MaxStepsPerInvocation)
+	}
+	// Absurdly large proven bound: keep the backstop rather than a budget
+	// that exceeds it.
+	s.Certificate.StepBound = analysis.StepBound{Bounded: true, ModuleSteps: 0, RunSteps: 1 << 61}
+	if got := tightenBudget(opts, s); got.MaxStepsPerInvocation != defaultStepBudget {
+		t.Error("oversized bound must keep the backstop")
+	}
+}

@@ -103,12 +103,14 @@ func (f FileCheckpoint) Save(data []byte) error {
 		return err
 	}
 	if _, err := fh.Write(appendCRCTrailer(data)); err != nil {
+		//benchlint:allow uncheckederr — cleanup; the write error wins
 		fh.Close()
 		return err
 	}
 	// Sync before rename: the rename must never make durable a name whose
 	// contents are still riding in the page cache.
 	if err := fh.Sync(); err != nil {
+		//benchlint:allow uncheckederr — cleanup; the sync error wins
 		fh.Close()
 		return err
 	}

@@ -96,9 +96,9 @@ func (e *inProcExecutor) run(b workloads.Benchmark, code *minipy.Code, opts Opti
 	return e.r.runInvocation(code, opts, noiseIdx, spanKV...)
 }
 
-func (e *inProcExecutor) describe() string          { return e.note }
-func (e *inProcExecutor) stats() (int, int)         { return 0, 0 }
-func (e *inProcExecutor) close()                    {}
+func (e *inProcExecutor) describe() string  { return e.note }
+func (e *inProcExecutor) stats() (int, int) { return 0, 0 }
+func (e *inProcExecutor) close()            {}
 
 // subprocExecutor runs attempts in worker children. A bounded pool of
 // clients (at most one per shard) is reused across attempts; any failure
@@ -268,6 +268,7 @@ func (e *subprocExecutor) close() {
 	for {
 		select {
 		case c := <-e.idle:
+			//benchlint:allow uncheckederr — discarding the worker either way
 			c.Close()
 		default:
 			return

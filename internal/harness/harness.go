@@ -60,9 +60,41 @@ func (o Options) withDefaults() Options {
 		o.FreqGHz = 3.0
 	}
 	if o.MaxStepsPerInvocation == 0 {
-		o.MaxStepsPerInvocation = 1 << 32
+		o.MaxStepsPerInvocation = defaultStepBudget
 	}
 	return o
+}
+
+// defaultStepBudget is the runaway-workload backstop applied when the user
+// does not set MaxStepsPerInvocation.
+const defaultStepBudget = 1 << 32
+
+// tightenBudget lowers the default step budget to the certificate's static
+// worst case when the interprocedural analysis proved one (DESIGN.md §14):
+// module import plus Iterations calls of run(), doubled for slack and
+// padded so a tiny workload never sits on the edge of its own budget. A
+// user-set budget is never overridden, and an unbounded certificate leaves
+// the backstop alone. The result is that a workload whose loops the
+// analysis can count trips for aborts in thousands of steps — not 2^32 —
+// if a regression makes it run long. Call after withDefaults.
+func tightenBudget(opts Options, summary *analysis.Summary) Options {
+	if opts.MaxStepsPerInvocation != defaultStepBudget ||
+		summary == nil || summary.Certificate == nil {
+		return opts
+	}
+	sb := summary.Certificate.StepBound
+	if !sb.Bounded || sb.ModuleSteps < 0 || sb.RunSteps < 0 {
+		return opts
+	}
+	iters := uint64(opts.Iterations)
+	if sb.RunSteps > 0 && iters > (1<<62)/uint64(sb.RunSteps) {
+		return opts // static bound too large to be a useful budget
+	}
+	bound := 2*(uint64(sb.ModuleSteps)+iters*uint64(sb.RunSteps)) + 4096
+	if bound < opts.MaxStepsPerInvocation {
+		opts.MaxStepsPerInvocation = bound
+	}
+	return opts
 }
 
 // Invocation is the measurement record of one fresh VM process.
@@ -190,6 +222,7 @@ func (r *Runner) Run(b workloads.Benchmark, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts = tightenBudget(opts, summary)
 	sp := r.obs.Trace.Begin(trace.CatBenchmark, b.Name+"/"+opts.Mode.String(),
 		"benchmark", b.Name, "mode", opts.Mode.String())
 	defer sp.End()

@@ -85,8 +85,8 @@ func TestGoldenJSONAnalysisKey(t *testing.T) {
 	if a.TypedInstrPct <= 0 || a.TypedInstrPct > 100 {
 		t.Errorf("typed instruction coverage out of range: %v", a.TypedInstrPct)
 	}
-	if !a.Determinism.Certified {
-		t.Errorf("fib must certify deterministic: %+v", a.Determinism)
+	if !a.Certificate.Determinism.Certified {
+		t.Errorf("fib must certify deterministic: %+v", a.Certificate.Determinism)
 	}
 }
 

@@ -307,6 +307,7 @@ func (r *Runner) RunParallel(b workloads.Benchmark, opts Options, po ParallelOpt
 	if err != nil {
 		return nil, err
 	}
+	opts = tightenBudget(opts, summary)
 	sp := r.obs.Trace.Begin(trace.CatBenchmark, b.Name+"/"+opts.Mode.String(),
 		"benchmark", b.Name, "mode", opts.Mode.String(),
 		"workers", strconv.Itoa(po.Workers))

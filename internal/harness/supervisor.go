@@ -310,6 +310,7 @@ func (s *Supervisor) runWith(b workloads.Benchmark, opts Options,
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
+	opts = tightenBudget(opts, summary)
 	faultSeed := s.opts.FaultSeed
 	if faultSeed == 0 {
 		faultSeed = opts.Seed

@@ -631,3 +631,25 @@ func ToStr(v Value) string {
 	}
 	return v.Repr()
 }
+
+// AddrOf returns the synthetic heap address of a heap-allocated value
+// (lists, tuples, dicts, classes, instances). Scalars, functions, cells,
+// and ranges have no address — they are either immutable immediates or
+// host-side bookkeeping the simulated heap does not model — and report
+// ok=false. The analysis escape checker uses addresses to decide whether
+// a value was allocated during a given activation.
+func AddrOf(v Value) (addr uint64, ok bool) {
+	switch x := v.(type) {
+	case *List:
+		return x.Addr, true
+	case *Tuple:
+		return x.Addr, true
+	case *Dict:
+		return x.Addr, true
+	case *Class:
+		return x.Addr, true
+	case *Instance:
+		return x.Addr, true
+	}
+	return 0, false
+}

@@ -135,6 +135,7 @@ func Open(fsys wal.FS, path string) (*Store, error) {
 	for i, p := range payloads {
 		var rec Record
 		if err := json.Unmarshal(p, &rec); err != nil {
+			//benchlint:allow uncheckederr — cleanup; the parse error wins
 			j.Close()
 			return nil, fmt.Errorf("perfstore: record %d of %s: %w", i, path, err)
 		}

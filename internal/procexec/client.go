@@ -160,6 +160,7 @@ func (c *Client) kill() {
 	if c.cmd.Process != nil {
 		c.cmd.Process.Kill()
 	}
+	//benchlint:allow uncheckederr — forced kill; the pipe is already dead
 	c.stdin.Close()
 	c.cmd.Wait()
 }
@@ -172,6 +173,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.dead = true
+	//benchlint:allow uncheckederr — EOF signal; the watchdog handles a stuck child
 	c.stdin.Close()
 	done := make(chan error, 1)
 	go func() { done <- c.cmd.Wait() }()

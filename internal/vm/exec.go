@@ -86,6 +86,7 @@ func (in *Interp) frameLoop(code *minipy.Code, locals []minipy.Value, cells []*m
 		names    = code.Names
 		probe    = in.probe
 		tracer   = in.tracer
+		vtracer  = in.vtracer
 		jit      = in.jit
 		abortFn  = in.abort
 		maxSteps = in.maxSteps
@@ -106,6 +107,10 @@ func (in *Interp) frameLoop(code *minipy.Code, locals []minipy.Value, cells []*m
 	// JIT trace mask for this code object, refreshed on version changes.
 	var mask []bool
 	var maskVer uint64
+	// Program counter of the op being executed, for the post-op value
+	// hook (pc itself has already advanced by then). Only maintained when
+	// a ValueTracer is attached.
+	var opPC int
 	if jit != nil {
 		mask = jit.compiled[code]
 		maskVer = jit.version
@@ -170,6 +175,9 @@ func (in *Interp) frameLoop(code *minipy.Code, locals []minipy.Value, cells []*m
 			in.steps, in.instrs, in.cycles = steps, instrsTot, cyclesTot
 			tracer.OnOp(code, pc, op, instrs)
 			steps, instrsTot, cyclesTot = in.steps, in.instrs, in.cycles
+		}
+		if vtracer != nil {
+			opPC = pc
 		}
 
 		switch op {
@@ -725,6 +733,16 @@ func (in *Interp) frameLoop(code *minipy.Code, locals []minipy.Value, cells []*m
 		default:
 			errv = in.failAt(code, pc, &RuntimeError{Kind: "SystemError", Msg: "unknown opcode " + op.String()})
 			goto done
+		}
+
+		// Post-op value hook: the op at opPC completed without raising
+		// (raising paths goto done above and never reach here), so the
+		// certificate's claim about its result — if any — is now checkable
+		// against the live stack.
+		if vtracer != nil {
+			in.steps, in.instrs, in.cycles = steps, instrsTot, cyclesTot
+			vtracer.OnValue(code, opPC, op, stack)
+			steps, instrsTot, cyclesTot = in.steps, in.instrs, in.cycles
 		}
 	}
 

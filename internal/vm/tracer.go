@@ -25,3 +25,22 @@ type Tracer interface {
 	// error unwinds alike, so enter/exit events always balance.
 	OnExit(code *minipy.Code)
 }
+
+// ValueTracer is an optional Tracer extension for observers that need to
+// see runtime VALUES, not just executed pcs — the analysis soundness
+// checker (internal/analysis) uses it to compare every produced value
+// against the certificate's interval and escape claims.
+//
+// OnValue fires after the op at pc has fully executed (nested calls
+// included), with the frame's live operand stack. It is NOT called for
+// ops that raise (the claim "this op's result is X" is vacuous when the
+// op produces no result), nor for control-flow ops that end the frame.
+// The stack slice is the live operand stack: observers must treat it as
+// read-only and must not retain it.
+//
+// A Config.Tracer that also implements ValueTracer is detected once at
+// New(); engines with a plain Tracer (the profiler) pay nothing new.
+type ValueTracer interface {
+	Tracer
+	OnValue(code *minipy.Code, pc int, op minipy.Op, stack []minipy.Value)
+}

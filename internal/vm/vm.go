@@ -87,10 +87,11 @@ type Interp struct {
 	builtins map[string]minipy.Value
 	out      io.Writer
 
-	jit    *jitState
-	probe  Probe
-	tracer Tracer
-	abort  func() error
+	jit     *jitState
+	probe   Probe
+	tracer  Tracer
+	vtracer ValueTracer // cfg.Tracer when it also implements ValueTracer
+	abort   func() error
 
 	steps     uint64
 	maxSteps  uint64
@@ -265,6 +266,9 @@ func New(cfg Config) *Interp {
 		gver:      1,       // 0 means "never cached" in gslot entries
 		aepoch:    1,
 	}
+	if vt, ok := cfg.Tracer.(ValueTracer); ok {
+		in.vtracer = vt
+	}
 	in.builtins = builtinTable()
 	if cfg.Mode == ModeJIT {
 		in.jit = newJITState(cost)
@@ -297,6 +301,12 @@ func (in *Interp) CountersSnapshot() Counters {
 		Allocations:  in.allocs,
 	}
 }
+
+// HeapMark returns the current synthetic-heap watermark: every address
+// returned by a later alloc is >= the mark. The analysis soundness checker
+// records the mark at frame entry; any object whose address is at or above
+// it was allocated during (or after) that activation.
+func (in *Interp) HeapMark() uint64 { return in.allocAddr }
 
 // JITStats returns trace-compilation statistics, or zeros for the
 // interpreter.

@@ -159,10 +159,12 @@ func atomicRewrite(fsys FS, path string, raw []byte) error {
 		return err
 	}
 	if _, err := f.Write(raw); err != nil {
+		//benchlint:allow uncheckederr — cleanup; the write error wins
 		f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		//benchlint:allow uncheckederr — cleanup; the sync error wins
 		f.Close()
 		return err
 	}

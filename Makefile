@@ -2,6 +2,7 @@ GO ?= go
 SMOKEDIR ?= .smoke
 GATEDIR ?= .gate
 TRACKDIR ?= .track
+DAEMONDIR ?= .daemon-smoke
 # Pinned configuration of the committed perf-gate baseline
 # (cmd/benchgate/testdata/baseline.json). Regenerating the baseline and
 # gating a candidate must use the exact same knobs, or the comparison is
@@ -9,7 +10,7 @@ TRACKDIR ?= .track
 GATE_BENCH = fib
 GATE_FLAGS = -bench $(GATE_BENCH) -invocations 6 -iterations 10 -seed 42 -noise quiet -json
 
-.PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline bench-track chaos-soak clean
+.PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline bench-track chaos-soak daemon-smoke clean
 
 # Pinned configuration of the wall-clock VM microbenchmarks. BENCH_vm.json
 # is the committed pre-optimization baseline; bench-go compares a fresh run
@@ -115,6 +116,19 @@ bench-track:
 	$(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
 		-candidate $(TRACKDIR)/run.json -history $(TRACKDIR)/history.jsonl
 
+# daemon-smoke exercises benchmarking-as-a-service end to end: build the
+# real pybench and pybenchd binaries, start the daemon on a loopback port,
+# submit a two-benchmark campaign through the Go client, stream it to
+# completion, and assert the sample sets are bit-identical to one-shot
+# `pybench -json` runs — then kill -9 the daemon mid-campaign (via the
+# -chaos-crash-after hook), restart it, and assert the resumed campaign
+# converges to the same bits. Daemon logs and traces land in $(DAEMONDIR)
+# so CI can upload them when the gate fails.
+daemon-smoke:
+	rm -rf $(DAEMONDIR) && mkdir -p $(DAEMONDIR)
+	PYBENCHD_SMOKE=1 PYBENCHD_SMOKE_ARTIFACTS=$(abspath $(DAEMONDIR)) \
+		$(GO) test -count 1 -run TestDaemonSmoke -v ./cmd/pybenchd
+
 # chaos-soak runs the crash-only invariant over a pinned seed matrix: one
 # fault family per seed (worker kills / torn+corrupt journal writes /
 # stalled children), each at 1 and 4 worker shards, every round interrupted
@@ -131,6 +145,11 @@ chaos-soak:
 	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 44 -faults 'stall=0.25' -crashes 2 -workers 1
 	$(GO) run ./cmd/benchchaos $(CHAOS_FLAGS) -seed 44 -faults 'stall=0.25' -crashes 2 -workers 4
 
+# clean removes every scratch directory any target or CI job can leave
+# behind: the named scratch dirs, the daemon's default data dir, and the
+# timestamped .smoke-*/.race-artifacts/.gate-artifacts dirs CI creates
+# when it keeps failure artifacts.
 clean:
 	$(GO) clean ./...
-	rm -rf $(SMOKEDIR) $(GATEDIR) $(TRACKDIR)
+	rm -rf $(SMOKEDIR) $(GATEDIR) $(TRACKDIR) $(DAEMONDIR) .pybenchd
+	rm -rf .smoke-* .race-artifacts .gate-artifacts

@@ -1,0 +1,310 @@
+// Package client is the typed Go client of the pybenchd control API: it
+// submits campaign specifications, follows their SSE progress streams, and
+// retrieves final results as the same harness.Result values the in-process
+// harness produces — so a remote campaign plugs into the statistics layer
+// exactly like a local one. `pybench -daemon-addr` is built on this
+// package, and the daemon-smoke CI job drives it end to end.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/controlapi"
+	"repro/internal/exitcode"
+)
+
+// Re-exported control-API types: the client's vocabulary is the server's.
+type (
+	// CampaignSpec describes a campaign submission.
+	CampaignSpec = controlapi.CampaignSpec
+	// CampaignStatus is a campaign's wire status (results when terminal).
+	CampaignStatus = controlapi.CampaignStatus
+	// Event is one progress-stream entry.
+	Event = controlapi.Event
+	// Health is the daemon liveness report.
+	Health = controlapi.Health
+	// State is a campaign lifecycle state.
+	State = controlapi.State
+)
+
+// APIError is a non-2xx response decoded into the control API's error
+// envelope. It implements the exit-code mapping so CLIs propagate the
+// taxonomy without inspecting HTTP statuses themselves.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Taxonomy is the exit-code taxonomy name ("usage", "infrastructure"…).
+	Taxonomy string
+	// Message is the server's failure description.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("daemon: %s (HTTP %d, %s)", e.Message, e.Status, e.Taxonomy)
+}
+
+// ExitCode maps the failure onto the repository exit-code taxonomy.
+func (e *APIError) ExitCode() int { return controlapi.ExitCode(e.Status) }
+
+// CampaignError reports a campaign that reached a terminal state other
+// than done. The partial status (with any surviving results) rides along.
+type CampaignError struct {
+	Status *CampaignStatus
+}
+
+func (e *CampaignError) Error() string {
+	msg := fmt.Sprintf("daemon: campaign %s %s", e.Status.ID, e.Status.State)
+	if e.Status.Error != "" {
+		msg += ": " + e.Status.Error
+	}
+	return msg
+}
+
+// ExitCode maps the outcome onto the exit-code taxonomy (degraded → 4 …).
+func (e *CampaignError) ExitCode() int { return e.Status.State.ExitCode() }
+
+// Client talks to one pybenchd instance.
+type Client struct {
+	base   string
+	tenant string
+	hc     *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (tests, timeouts).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTenant attributes submissions to a tenant via the quota header.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
+// New returns a client for the daemon at addr — a host:port pair or a full
+// http:// base URL.
+func New(addr string, opts ...Option) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request and decodes the JSON response into out (ignored
+// when nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set(controlapi.TenantHeader, c.tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		//benchlint:allow uncheckederr — response body cleanup
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeAPIError turns an error response into *APIError, surviving
+// non-JSON bodies (proxies, panics) with the raw text.
+func decodeAPIError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16)) //benchlint:allow uncheckederr — best-effort error body
+	var envelope struct {
+		Error controlapi.APIError `json:"error"`
+	}
+	if err := json.Unmarshal(data, &envelope); err == nil && envelope.Error.Message != "" {
+		return &APIError{
+			Status:   resp.StatusCode,
+			Taxonomy: envelope.Error.Taxonomy,
+			Message:  envelope.Error.Message,
+		}
+	}
+	return &APIError{
+		Status:   resp.StatusCode,
+		Taxonomy: exitcode.String(controlapi.ExitCode(resp.StatusCode)),
+		Message:  strings.TrimSpace(string(data)),
+	}
+}
+
+// Health reports daemon liveness and drain state.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/api/v1/healthz", nil, &h)
+	return h, err
+}
+
+// Submit enqueues a campaign and returns its accepted status (state
+// "queued", durable in the daemon's ledger).
+func (c *Client) Submit(ctx context.Context, spec CampaignSpec) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do(ctx, http.MethodPost, "/api/v1/campaigns", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Get fetches a campaign's status; terminal campaigns carry results.
+func (c *Client) Get(ctx context.Context, id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches every campaign the daemon knows (no results attached).
+func (c *Client) List(ctx context.Context) ([]CampaignStatus, error) {
+	var out []CampaignStatus
+	if err := c.do(ctx, http.MethodGet, "/api/v1/campaigns", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel cancels a queued or running campaign.
+func (c *Client) Cancel(ctx context.Context, id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do(ctx, http.MethodDelete, "/api/v1/campaigns/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Stream follows a campaign's SSE event stream from position `from`,
+// invoking fn for every event until the stream ends (campaign terminal),
+// fn returns an error (propagated), or ctx is cancelled.
+func (c *Client) Stream(ctx context.Context, id string, from int, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/api/v1/campaigns/%s/events?from=%d", c.base, id, from), nil)
+	if err != nil {
+		return fmt.Errorf("client: building stream request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: streaming %s: %w", id, err)
+	}
+	defer func() {
+		//benchlint:allow uncheckederr — response body cleanup
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	return parseSSE(resp.Body, fn)
+}
+
+// parseSSE decodes a text/event-stream body into Events. Only the fields
+// the daemon emits (id, event, data) are interpreted; unknown lines are
+// skipped per the SSE contract.
+func parseSSE(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var ev Event
+	var haveData bool
+	flush := func() error {
+		if !haveData {
+			ev = Event{}
+			return nil
+		}
+		e := ev
+		ev, haveData = Event{}, false
+		return fn(e)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(line[4:]); err == nil {
+				ev.Seq = n
+			}
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(line[6:])
+			haveData = true
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: reading event stream: %w", err)
+	}
+	return nil
+}
+
+// Wait follows the campaign's event stream to its terminal state, then
+// fetches and returns the final status. A terminal state other than done
+// is returned as *CampaignError (carrying the partial status), so callers
+// can both report and propagate the taxonomy exit code. onEvent, when
+// non-nil, observes every streamed event along the way.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*CampaignStatus, error) {
+	err := c.Stream(ctx, id, 0, func(ev Event) error {
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Get(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if !st.State.Terminal() {
+		// The stream ended without a terminal state: the daemon crashed or
+		// drained under us. Infrastructure, not an outcome.
+		return st, &APIError{
+			Status:   http.StatusServiceUnavailable,
+			Taxonomy: exitcode.String(exitcode.Infra),
+			Message:  fmt.Sprintf("campaign %s stream ended in state %s", id, st.State),
+		}
+	}
+	if st.State != controlapi.StateDone {
+		return st, &CampaignError{Status: st}
+	}
+	return st, nil
+}

@@ -1,0 +1,206 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/controlapi"
+	"repro/internal/exitcode"
+)
+
+// startDaemon runs a real control-plane server behind httptest and
+// returns a client pointed at it.
+func startDaemon(t *testing.T, mutate func(*controlapi.Options)) (*controlapi.Server, *Client) {
+	t.Helper()
+	opts := controlapi.Options{DataDir: t.TempDir()}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s, err := controlapi.New(opts)
+	if err != nil {
+		t.Fatalf("controlapi.New: %v", err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, New(ts.URL, WithTenant("client-test"))
+}
+
+func tinySpec() CampaignSpec {
+	return CampaignSpec{
+		Benchmarks:  []string{"fib"},
+		Invocations: 2,
+		Iterations:  3,
+		Seed:        42,
+		Noise:       "quiet",
+	}
+}
+
+// TestSubmitWaitGet drives the happy path end to end: submit, stream to
+// the terminal state, fetch results, and observe progress events.
+func TestSubmitWaitGet(t *testing.T) {
+	_, cl := startDaemon(t, nil)
+	ctx := context.Background()
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.State != "serving" {
+		t.Fatalf("health = %+v", h)
+	}
+
+	st, err := cl.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.Tenant != "client-test" {
+		t.Errorf("tenant header not applied: %+v", st)
+	}
+
+	var seen []string
+	final, err := cl.Wait(ctx, st.ID, func(ev Event) { seen = append(seen, ev.Type) })
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != controlapi.StateDone || len(final.Results) != 1 {
+		t.Fatalf("final = state %s, %d results", final.State, len(final.Results))
+	}
+	if final.Results[0].Invocations[0].Checksum != "1597" {
+		t.Errorf("fib checksum = %q", final.Results[0].Invocations[0].Checksum)
+	}
+	var states, benches int
+	for _, typ := range seen {
+		switch typ {
+		case controlapi.EventState:
+			states++
+		case controlapi.EventBenchmark:
+			benches++
+		}
+	}
+	if states < 3 || benches != 2 {
+		t.Errorf("event mix: %d state, %d benchmark (want >=3, 2): %v", states, benches, seen)
+	}
+
+	list, err := cl.List(ctx)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+// TestAPIErrorDecoding checks that server rejections surface as *APIError
+// with the taxonomy exit code a CLI should propagate.
+func TestAPIErrorDecoding(t *testing.T) {
+	_, cl := startDaemon(t, nil)
+	ctx := context.Background()
+
+	spec := tinySpec()
+	spec.Benchmarks = []string{"no-such-benchmark"}
+	_, err := cl.Submit(ctx, spec)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if apiErr.Status != 400 || apiErr.ExitCode() != exitcode.Usage {
+		t.Fatalf("apiErr = %+v (exit %d)", apiErr, apiErr.ExitCode())
+	}
+	if !strings.Contains(apiErr.Message, "no-such-benchmark") {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+
+	if _, err := cl.Get(ctx, "c999999"); err == nil {
+		t.Fatal("Get of unknown id must error")
+	} else if !errors.As(err, &apiErr) || apiErr.ExitCode() != exitcode.Usage {
+		t.Fatalf("unknown-id error = %v", err)
+	}
+}
+
+// TestWaitDegradedCampaign checks the outcome taxonomy: a campaign that
+// finishes below quorum comes back as *CampaignError with exit 4 and the
+// partial results attached.
+func TestWaitDegradedCampaign(t *testing.T) {
+	_, cl := startDaemon(t, nil)
+	ctx := context.Background()
+	spec := tinySpec()
+	spec.Invocations = 3
+	spec.Faults = "panic=1.0" // every attempt dies; quorum is unreachable
+	spec.Quorum = 1
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final, err := cl.Wait(ctx, st.ID, nil)
+	var ce *CampaignError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CampaignError, got %T: %v", err, err)
+	}
+	if ce.ExitCode() != exitcode.Degraded || final.State != controlapi.StateDegraded {
+		t.Fatalf("state %s exit %d, want degraded/4", final.State, ce.ExitCode())
+	}
+}
+
+// TestCancelViaClient cancels a queued campaign on a drained server (no
+// executor will pick it up) and verifies the terminal state round-trips.
+func TestCancelViaClient(t *testing.T) {
+	s, cl := startDaemon(t, func(o *controlapi.Options) { o.Slots = 1 })
+	ctx := context.Background()
+	// Park the only executor on a long campaign so the next one stays queued.
+	long := tinySpec()
+	long.Benchmarks = []string{"fib", "nbody", "spectralnorm"}
+	long.Invocations = 6
+	long.Iterations = 60
+	blocker, err := cl.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := cl.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if got.State != controlapi.StateCancelled {
+		t.Fatalf("cancelled state = %s", got.State)
+	}
+	if _, err := cl.Cancel(ctx, blocker.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	if _, err := cl.Wait(ctx, blocker.ID, nil); err == nil {
+		t.Fatal("waiting on a cancelled campaign must error")
+	}
+	_ = s
+}
+
+// TestParseSSE pins the client-side SSE framing against hand-built input,
+// including multi-event bodies and ignored unknown lines.
+func TestParseSSE(t *testing.T) {
+	body := "retry: 100\n" +
+		"id: 0\nevent: state\ndata: {\"state\":\"queued\"}\n\n" +
+		"id: 1\nevent: benchmark\ndata: {\"benchmark\":\"fib\"}\n\n"
+	var got []Event
+	err := parseSSE(strings.NewReader(body), func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 0 || got[0].Type != "state" || got[1].Seq != 1 || got[1].Type != "benchmark" {
+		t.Fatalf("parsed = %+v", got)
+	}
+	var payload struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(got[1].Data, &payload); err != nil || payload.Benchmark != "fib" {
+		t.Fatalf("payload = %+v, %v", payload, err)
+	}
+}

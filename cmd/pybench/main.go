@@ -26,6 +26,12 @@
 // the campaign; the sample set is bit-identical to in-process execution);
 // -watchdog bounds each attempt's wall time before the child is killed.
 //
+// Remote execution: -daemon-addr HOST:PORT submits the -bench campaign to
+// a pybenchd daemon instead of running it in-process. The daemon executes
+// the same controlapi.Execute path this binary uses locally, so the
+// sample set is bit-identical either way; progress streams to stderr and
+// the rendered table (or -json document) is unchanged.
+//
 // Observability knobs: -trace FILE writes a Chrome trace-event timeline
 // (open in Perfetto or chrome://tracing); -metrics collects harness
 // self-telemetry (timer calibration, GC interference, retry/cache
@@ -39,6 +45,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,7 +54,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/client"
 	"repro/internal/analysis"
+	"repro/internal/controlapi"
 	"repro/internal/core"
 	"repro/internal/exitcode"
 	"repro/internal/faults"
@@ -105,6 +115,7 @@ func main() {
 		optLevel    = flag.Int("opt", 0, "bytecode-optimization level for -bench/-dis: 0 = off, 1 = peephole, 2 = +superinstructions, 3 = +certificate-gated rewrites (changes the simulated opcode stream; distinct experiment arms, see ablations A7/A8)")
 		isolate     = flag.Bool("isolate", false, "run each invocation attempt in a watchdogged worker subprocess (crash isolation; the sample set is bit-identical to in-process execution)")
 		watchdog    = flag.Duration("watchdog", 0, "with -isolate: per-attempt deadline before a hung worker is killed (0 = 30s default)")
+		daemonAddr  = flag.String("daemon-addr", "", "with -bench: submit the campaign to a pybenchd daemon at HOST:PORT instead of running in-process (sample set is bit-identical)")
 		showVersion = flag.Bool("version", false, "print version, Go version, and platform, then exit")
 	)
 	flag.Usage = usage
@@ -186,7 +197,27 @@ func main() {
 			fatal(err)
 		}
 	case *bench != "":
-		if err := doBench(*bench, *mode, cfg, *optLevel, *jsonOut, obs); err != nil {
+		// The -bench path is a campaign of one benchmark: the same
+		// CampaignSpec a remote client POSTs to pybenchd, executed through
+		// the same controlapi.Execute — locally by default, remotely with
+		// -daemon-addr. One spec, one execution semantics, two transports.
+		spec := controlapi.CampaignSpec{
+			Benchmarks:     []string{*bench},
+			Mode:           *mode,
+			Invocations:    *invocations,
+			Iterations:     *iterations,
+			Seed:           *seed,
+			Noise:          *noiseName,
+			Opt:            *optLevel,
+			Workers:        *workers,
+			ParallelPolicy: *parPolicy,
+			Faults:         *faultsSpec,
+			Retries:        *retries,
+			Quorum:         *quorum,
+			Isolate:        *isolate,
+			WatchdogMs:     watchdog.Milliseconds(),
+		}
+		if err := doBench(spec, *resume, *daemonAddr, *jsonOut, obs); err != nil {
 			fatal(err)
 		}
 		if err := obs.finish(os.Stdout, !*jsonOut); err != nil {
@@ -219,17 +250,10 @@ func usage() {
 	fmt.Fprintf(out, "Experiments: %v\nRun 'pybench -list' for descriptions.\n", core.ExperimentIDs())
 }
 
-// benchmarkNames lists every runnable workload (canonical suite plus
-// extended set).
+// benchmarkNames lists every runnable workload — the control API's
+// inventory, which is the CLI's inventory by construction.
 func benchmarkNames() []string {
-	var names []string
-	for _, b := range workloads.Suite() {
-		names = append(names, b.Name)
-	}
-	for _, b := range workloads.Extended() {
-		names = append(names, b.Name)
-	}
-	return names
+	return controlapi.BenchmarkNames()
 }
 
 // unknownBenchmark builds the error for a benchmark name that resolves to
@@ -424,37 +448,34 @@ func doSuite(cfg core.Config, style renderStyle, o *observability) error {
 }
 
 // fatal prints the error and exits with its taxonomy code: usage errors
-// exit 2, gated findings 1, a run degraded below quorum 4, and everything
-// else — I/O, environment, subprocess plumbing — 3 (infrastructure).
+// (including invalid campaign specs) exit 2, gated findings 1, a run
+// degraded below quorum 4, and everything else — I/O, environment,
+// subprocess plumbing — 3 (infrastructure). Errors that carry their own
+// mapping (daemon API errors, remote campaign outcomes) exit with it.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pybench:", err)
 	var ue usageError
 	var fe findingError
+	var se *controlapi.SpecError
+	var ec interface{ ExitCode() int }
 	switch {
-	case errors.As(err, &ue):
+	case errors.As(err, &ue), errors.As(err, &se):
 		os.Exit(exitcode.Usage)
 	case errors.As(err, &fe):
 		os.Exit(exitcode.Finding)
 	case errors.Is(err, harness.ErrQuorum):
 		os.Exit(exitcode.Degraded)
+	case errors.As(err, &ec):
+		os.Exit(ec.ExitCode())
 	}
 	os.Exit(exitcode.Infra)
 }
 
+// noiseByName delegates to the control API's single name→model mapping,
+// so the CLI and a remote submission can never disagree about what
+// "quiet" means.
 func noiseByName(name string) (noise.Params, error) {
-	switch name {
-	case "default", "":
-		return noise.Default(), nil
-	case "quiet":
-		return noise.Quiet(), nil
-	case "noisy":
-		return noise.Noisy(), nil
-	case "none":
-		// The zero Params would be replaced by the default in core.Config,
-		// so nudge one field to keep it distinct while staying noiseless.
-		return noise.Params{SpikeProb: 0, IterationSigma: 1e-12}, nil
-	}
-	return noise.Params{}, fmt.Errorf("unknown noise model %q", name)
+	return controlapi.NoiseByName(name)
 }
 
 func doList() {
@@ -490,61 +511,91 @@ func doExperiments(id string, cfg core.Config, style renderStyle) error {
 	return nil
 }
 
-func doBench(name, modeName string, cfg core.Config, opt int, jsonOut bool, o *observability) error {
-	b, ok := workloads.ByName(name)
-	if !ok {
-		return unknownBenchmark(name)
-	}
-	var mode vm.Mode
-	switch modeName {
-	case "interp":
-		mode = vm.ModeInterp
-	case "jit":
-		mode = vm.ModeJIT
-	default:
-		return usageError{fmt.Errorf("unknown mode %q", modeName)}
-	}
-	inv, iter := cfg.Invocations, cfg.Iterations
-	if inv == 0 {
-		inv = 10
-	}
-	if iter == 0 {
-		iter = 30
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 42
-	}
-	np := cfg.Noise
-	if np == (noise.Params{}) {
-		np = noise.Default()
-	}
-	so := supervisorOptions(cfg)
-	if cfg.CheckpointDir != "" {
-		so.Checkpoint = harness.JournalCheckpointFor(cfg.CheckpointDir, b.Name, mode)
-	}
-	// Supervision with the zero policy is free (byte-identical to the bare
-	// Runner), so -bench always runs supervised and always reports its
-	// effective N.
-	runner := harness.NewRunner()
-	o.attach(runner, b.Name+"/"+modeName)
-	res, err := harness.NewSupervisor(runner, so).RunParallel(b, harness.Options{
-		Mode:        mode,
-		Invocations: inv,
-		Iterations:  iter,
-		Seed:        seed,
-		Noise:       np,
-		Opt:         opt,
-	}, parallelOptions(cfg))
-	if err != nil {
-		if res != nil && res.Supervision != nil {
-			fmt.Fprintln(os.Stderr, "pybench:", res.Supervision.Summary())
-		}
+// doBench runs a single-benchmark campaign through the shared
+// controlapi.Execute path — in-process by default (supervision with the
+// zero policy is free, so -bench always runs supervised and always
+// reports its effective N), or submitted to a pybenchd daemon when
+// daemonAddr is set. Both routes yield the same *harness.Result by
+// construction; rendering is identical.
+func doBench(spec controlapi.CampaignSpec, checkpointDir, daemonAddr string, jsonOut bool, o *observability) error {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
 		return err
+	}
+	var res *harness.Result
+	if daemonAddr != "" {
+		r, err := runRemote(daemonAddr, spec)
+		if err != nil {
+			return err
+		}
+		res = r
+	} else {
+		runner := harness.NewRunner()
+		o.attach(runner, spec.Benchmarks[0]+"/"+spec.Mode)
+		results, err := controlapi.Execute(spec, controlapi.ExecOptions{
+			Runner:        runner,
+			CheckpointDir: checkpointDir,
+		})
+		if err != nil {
+			if n := len(results); n > 0 && results[n-1].Supervision != nil {
+				fmt.Fprintln(os.Stderr, "pybench:", results[n-1].Supervision.Summary())
+			}
+			return err
+		}
+		res = results[0]
 	}
 	if jsonOut {
 		return res.WriteJSON(os.Stdout)
 	}
+	return renderBenchResult(res, spec)
+}
+
+// runRemote submits the campaign to a pybenchd daemon, streams its
+// progress to stderr, and returns the final result — the same value the
+// local path computes, fetched over the wire.
+func runRemote(addr string, spec controlapi.CampaignSpec) (*harness.Result, error) {
+	cl := client.New(addr, client.WithTenant(spec.Tenant))
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "pybench: campaign %s accepted by daemon %s\n", st.ID, addr)
+	final, err := cl.Wait(ctx, st.ID, func(ev client.Event) {
+		if ev.Type != controlapi.EventBenchmark {
+			return
+		}
+		var bp controlapi.BenchmarkProgress
+		if json.Unmarshal(ev.Data, &bp) != nil { //benchlint:allow uncheckederr — progress display only
+			return
+		}
+		verb := "running"
+		if bp.Done {
+			verb = "finished"
+		}
+		fmt.Fprintf(os.Stderr, "pybench: daemon: %s %s (%d/%d)\n",
+			bp.Benchmark, verb, bp.Index+1, bp.Total)
+	})
+	if err != nil {
+		// A degraded/failed remote campaign still carries its partial
+		// supervision report; surface it like the local path does.
+		var ce *client.CampaignError
+		if errors.As(err, &ce) && final != nil {
+			if n := len(final.Results); n > 0 && final.Results[n-1].Supervision != nil {
+				fmt.Fprintln(os.Stderr, "pybench:", final.Results[n-1].Supervision.Summary())
+			}
+		}
+		return nil, err
+	}
+	if len(final.Results) == 0 {
+		return nil, fmt.Errorf("daemon returned no results for campaign %s", st.ID)
+	}
+	return final.Results[0], nil
+}
+
+// renderBenchResult prints the -bench summary table from a campaign
+// result, local or remote.
+func renderBenchResult(res *harness.Result, spec controlapi.CampaignSpec) error {
 	hs, srep := stats.Sanitize(res.Hierarchical())
 	means := hs.InvocationMeans()
 	ci := stats.KaliberaMeanCI(hs, 0.95)
@@ -552,7 +603,8 @@ func doBench(name, modeName string, cfg core.Config, opt int, jsonOut bool, o *o
 	rep := methodology.ClassifyExperiment(hs)
 	sv := res.Supervision
 
-	t := report.NewTable(fmt.Sprintf("%s / %s (%d×%d, seed %d)", b.Name, mode, inv, iter, seed),
+	t := report.NewTable(fmt.Sprintf("%s / %s (%d×%d, seed %d)",
+		spec.Benchmarks[0], spec.Mode, spec.Invocations, spec.Iterations, spec.Seed),
 		"metric", "value")
 	t.AddRow("mean (ms)", 1e3*stats.Mean(means))
 	t.AddRow("median (ms)", 1e3*stats.Median(means))

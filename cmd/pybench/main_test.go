@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/controlapi"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/noise"
@@ -46,8 +47,21 @@ func TestNoiseByName(t *testing.T) {
 	}
 }
 
+// benchSpec builds the single-benchmark campaign spec the -bench path
+// constructs from flags.
+func benchSpec(name, mode string, inv, iter int, seed uint64, noiseName string) controlapi.CampaignSpec {
+	return controlapi.CampaignSpec{
+		Benchmarks:  []string{name},
+		Mode:        mode,
+		Invocations: inv,
+		Iterations:  iter,
+		Seed:        seed,
+		Noise:       noiseName,
+	}
+}
+
 func TestDoBenchErrors(t *testing.T) {
-	err := doBench("no-such-benchmark", "interp", core.Config{}, 0, false, noObs())
+	err := doBench(benchSpec("no-such-benchmark", "interp", 0, 0, 0, ""), "", "", false, noObs())
 	if err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
@@ -57,7 +71,7 @@ func TestDoBenchErrors(t *testing.T) {
 			t.Errorf("unknown-benchmark error missing %q: %v", want, err)
 		}
 	}
-	if err := doBench("fib", "turbo", core.Config{}, 0, false, noObs()); err == nil {
+	if err := doBench(benchSpec("fib", "turbo", 0, 0, 0, ""), "", "", false, noObs()); err == nil {
 		t.Fatal("unknown mode must error")
 	}
 }
@@ -113,17 +127,11 @@ func TestSupervisorOptionsMapping(t *testing.T) {
 
 func TestDoBenchSupervisedWithFaults(t *testing.T) {
 	dir := t.TempDir()
-	cfg := core.Config{
-		Invocations:   3,
-		Iterations:    4,
-		Seed:          7,
-		Noise:         noise.Quiet(),
-		Retries:       4,
-		Quorum:        2,
-		Faults:        faults.Params{PanicProb: 0.3},
-		CheckpointDir: dir,
-	}
-	out := captureStdout(t, func() error { return doBench("fib", "interp", cfg, 0, false, noObs()) })
+	spec := benchSpec("fib", "interp", 3, 4, 7, "quiet")
+	spec.Retries = 4
+	spec.Quorum = 2
+	spec.Faults = "panic=0.3"
+	out := captureStdout(t, func() error { return doBench(spec, dir, "", false, noObs()) })
 	for _, want := range []string{"effective N", "retries / dropped / quarantined"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("supervised -bench output missing %q:\n%s", want, out)
@@ -135,7 +143,7 @@ func TestDoBenchSupervisedWithFaults(t *testing.T) {
 	}
 	// Re-running against the completed checkpoint must succeed (nothing
 	// re-runs) and report the same numbers, plus the resume annotation.
-	again := captureStdout(t, func() error { return doBench("fib", "interp", cfg, 0, false, noObs()) })
+	again := captureStdout(t, func() error { return doBench(spec, dir, "", false, noObs()) })
 	if !strings.Contains(again, "resumed at invocation 3") {
 		t.Errorf("resumed -bench missing resume annotation:\n%s", again)
 	}
@@ -146,10 +154,9 @@ func TestDoBenchSupervisedWithFaults(t *testing.T) {
 
 func TestTraceFlagWritesValidChromeTrace(t *testing.T) {
 	traceFile := filepath.Join(t.TempDir(), "out.trace.json")
-	cfg := core.Config{Invocations: 2, Iterations: 3, Seed: 7, Noise: noise.Quiet()}
 	o := newObservability(traceFile, false)
 	captureStdout(t, func() error {
-		if err := doBench("fib", "interp", cfg, 0, false, o); err != nil {
+		if err := doBench(benchSpec("fib", "interp", 2, 3, 7, "quiet"), "", "", false, o); err != nil {
 			return err
 		}
 		return o.finish(os.Stdout, true)
@@ -175,10 +182,9 @@ func TestTraceFlagWritesValidChromeTrace(t *testing.T) {
 }
 
 func TestMetricsFlagRidesBenchJSON(t *testing.T) {
-	cfg := core.Config{Invocations: 2, Iterations: 2, Seed: 7, Noise: noise.Quiet()}
 	o := newObservability("", true)
 	out := captureStdout(t, func() error {
-		if err := doBench("fib", "interp", cfg, 0, true, o); err != nil {
+		if err := doBench(benchSpec("fib", "interp", 2, 2, 7, "quiet"), "", "", true, o); err != nil {
 			return err
 		}
 		// -json suppresses the text snapshot so stdout stays a JSON document.
@@ -196,10 +202,9 @@ func TestMetricsFlagRidesBenchJSON(t *testing.T) {
 }
 
 func TestMetricsFlagPrintsTextSnapshot(t *testing.T) {
-	cfg := core.Config{Invocations: 1, Iterations: 2, Seed: 7, Noise: noise.Quiet()}
 	o := newObservability("", true)
 	out := captureStdout(t, func() error {
-		if err := doBench("fib", "interp", cfg, 0, false, o); err != nil {
+		if err := doBench(benchSpec("fib", "interp", 1, 2, 7, "quiet"), "", "", false, o); err != nil {
 			return err
 		}
 		return o.finish(os.Stdout, true)

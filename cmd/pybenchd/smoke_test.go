@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/harness"
+)
+
+// TestDaemonSmoke is the CI daemon-smoke gate (`make daemon-smoke`): it
+// builds the real pybench and pybenchd binaries, starts the daemon on a
+// loopback port, submits a two-benchmark campaign through the Go client,
+// streams it to completion, and asserts the daemon's sample sets are
+// bit-identical to one-shot `pybench -json` runs of the same specs. A
+// second phase arms -chaos-crash-after so the daemon SIGKILLs itself
+// mid-campaign, restarts it on the same data directory, and verifies the
+// interrupted campaign resumes from its checkpoint journal with — again —
+// a bit-identical sample set.
+//
+// Gated behind PYBENCHD_SMOKE=1: it builds binaries and forks processes,
+// which is CI work, not unit-test work. Daemon logs and traces land in
+// PYBENCHD_SMOKE_ARTIFACTS (default: the test temp dir) for upload on
+// failure.
+func TestDaemonSmoke(t *testing.T) {
+	if os.Getenv("PYBENCHD_SMOKE") != "1" {
+		t.Skip("set PYBENCHD_SMOKE=1 to run the daemon smoke test")
+	}
+	artifacts := os.Getenv("PYBENCHD_SMOKE_ARTIFACTS")
+	if artifacts == "" {
+		artifacts = t.TempDir()
+	}
+	if err := os.MkdirAll(artifacts, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bins := t.TempDir()
+	pybench := filepath.Join(bins, "pybench")
+	pybenchd := filepath.Join(bins, "pybenchd")
+	for bin, pkg := range map[string]string{pybench: "repro/cmd/pybench", pybenchd: "repro/cmd/pybenchd"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	spec := client.CampaignSpec{
+		Benchmarks:  []string{"fib", "collatz"},
+		Invocations: 4,
+		Iterations:  5,
+		Seed:        42,
+		Noise:       "quiet",
+		Tenant:      "smoke",
+	}
+
+	t.Run("BitIdenticalToOneShot", func(t *testing.T) {
+		dataDir := t.TempDir()
+		d := startDaemon(t, pybenchd, dataDir, filepath.Join(artifacts, "daemon-smoke.log"))
+		defer d.stop(t)
+
+		cl := client.New(d.addr, client.WithTenant("smoke"))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		st, err := cl.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		final, err := cl.Wait(ctx, st.ID, nil)
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if len(final.Results) != len(spec.Benchmarks) {
+			t.Fatalf("daemon returned %d results, want %d", len(final.Results), len(spec.Benchmarks))
+		}
+		saveTrace(t, d.addr, st.ID, filepath.Join(artifacts, "daemon-smoke.trace.json"))
+
+		// The contract under test: the daemon path and the one-shot CLI
+		// path produce bit-identical sample sets for the same spec.
+		for i, bench := range spec.Benchmarks {
+			oneShot := runOneShot(t, pybench, bench, spec)
+			if !reflect.DeepEqual(final.Results[i].Invocations, oneShot.Invocations) {
+				t.Errorf("%s: daemon sample set differs from one-shot pybench", bench)
+			}
+		}
+	})
+
+	t.Run("CrashRecovery", func(t *testing.T) {
+		dataDir := t.TempDir()
+		crash := startDaemonArgs(t, pybenchd, dataDir,
+			filepath.Join(artifacts, "daemon-crash.log"), "-chaos-crash-after", "2")
+
+		cl := client.New(crash.addr, client.WithTenant("smoke"))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		chaosSpec := spec
+		chaosSpec.Benchmarks = []string{"fib"}
+		chaosSpec.Invocations = 5
+		st, err := cl.Submit(ctx, chaosSpec)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		// The daemon SIGKILLs itself at the crash point: a genuine kill -9,
+		// observed as process death.
+		if err := crash.cmd.Wait(); err == nil {
+			t.Fatal("daemon exited cleanly; expected SIGKILL at the crash point")
+		} else if !strings.Contains(err.Error(), "killed") {
+			t.Fatalf("daemon died of %v, expected SIGKILL", err)
+		}
+
+		// Restart on the same data dir: the ledger re-enqueues the
+		// interrupted campaign and its checkpoint journal resumes it.
+		d2 := startDaemon(t, pybenchd, dataDir, filepath.Join(artifacts, "daemon-recover.log"))
+		defer d2.stop(t)
+		cl2 := client.New(d2.addr, client.WithTenant("smoke"))
+		final, err := cl2.Wait(ctx, st.ID, nil)
+		if err != nil {
+			t.Fatalf("Wait after restart: %v", err)
+		}
+		if len(final.Results) != 1 {
+			t.Fatalf("recovered campaign has %d results", len(final.Results))
+		}
+		sv := final.Results[0].Supervision
+		if sv == nil || sv.ResumedFrom == 0 {
+			t.Fatalf("recovered campaign did not resume from checkpoint: %+v", sv)
+		}
+		oneShot := runOneShot(t, pybench, "fib", chaosSpec)
+		if !reflect.DeepEqual(final.Results[0].Invocations, oneShot.Invocations) {
+			t.Error("resumed sample set differs from uninterrupted one-shot run")
+		}
+	})
+}
+
+// daemon is one running pybenchd process plus its resolved address.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	log  *os.File
+}
+
+func startDaemon(t *testing.T, bin, dataDir, logPath string, extra ...string) *daemon {
+	return startDaemonArgs(t, bin, dataDir, logPath, extra...)
+}
+
+func startDaemonArgs(t *testing.T, bin, dataDir, logPath string, extra ...string) *daemon {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-data", dataDir,
+		"-slots", "1",
+	}, extra...)
+	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = logF
+	cmd.Stdout = logF
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting pybenchd: %v", err)
+	}
+	d := &daemon{cmd: cmd, log: logF}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			d.addr = strings.TrimSpace(string(data))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pybenchd never wrote %s (log: %s)", addrFile, logPath)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return d
+}
+
+// stop drains the daemon with SIGTERM and waits for a clean exit.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	if d.cmd.ProcessState != nil {
+		return
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Errorf("SIGTERM: %v", err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		t.Errorf("daemon did not drain cleanly: %v", err)
+	}
+	d.log.Close()
+}
+
+// runOneShot runs `pybench -bench NAME -json` with the spec's knobs and
+// parses the raw result document.
+func runOneShot(t *testing.T, pybench, bench string, spec client.CampaignSpec) *harness.Result {
+	t.Helper()
+	cmd := exec.Command(pybench,
+		"-bench", bench,
+		"-invocations", fmt.Sprint(spec.Invocations),
+		"-iterations", fmt.Sprint(spec.Iterations),
+		"-seed", fmt.Sprint(spec.Seed),
+		"-noise", spec.Noise,
+		"-json",
+	)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("one-shot pybench -bench %s: %v\n%s", bench, err, errb.String())
+	}
+	res, err := harness.ReadResultJSON(&out)
+	if err != nil {
+		t.Fatalf("parsing one-shot result: %v", err)
+	}
+	return res
+}
+
+// saveTrace downloads the campaign's Chrome trace as a CI artifact.
+func saveTrace(t *testing.T, addr, id, path string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/api/v1/campaigns/" + id + "/trace")
+	if err != nil {
+		t.Logf("fetching trace: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Logf("saving trace: %v", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.ReadFrom(resp.Body); err != nil {
+		t.Logf("saving trace: %v", err)
+	}
+}
+
+// repoRoot locates the module root (the test runs from cmd/pybenchd).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}

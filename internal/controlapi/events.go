@@ -1,0 +1,123 @@
+package controlapi
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one entry in a campaign's progress stream. Events are
+// sequence-numbered from 0 so a client that reconnects with Last-Event-ID
+// resumes exactly where it left off — the stream is an append-only log,
+// not a lossy broadcast.
+type Event struct {
+	// Seq is the event's position in the campaign stream.
+	Seq int `json:"seq"`
+	// Type tags the payload: "state", "benchmark", "trace".
+	Type string `json:"type"`
+	// Data is the type-specific JSON payload.
+	Data json.RawMessage `json:"data"`
+}
+
+// Event types emitted by the daemon.
+const (
+	// EventState carries a StateChange whenever the campaign's lifecycle
+	// state moves; the terminal one ends the stream.
+	EventState = "state"
+	// EventBenchmark carries a BenchmarkProgress as each benchmark of the
+	// campaign starts and finishes.
+	EventBenchmark = "benchmark"
+	// EventTrace carries one harness Observer span/instant (trace.Event
+	// JSON) from the campaign's tracer — the PR 2 observability stream
+	// surfaced over the wire.
+	EventTrace = "trace"
+)
+
+// StateChange is the payload of EventState.
+type StateChange struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Exit is the taxonomy exit code of a terminal state (0 until then).
+	Exit int `json:"exit_code"`
+	// Error describes a failed/degraded/cancelled outcome.
+	Error string `json:"error,omitempty"`
+}
+
+// BenchmarkProgress is the payload of EventBenchmark.
+type BenchmarkProgress struct {
+	ID        string `json:"id"`
+	Benchmark string `json:"benchmark"`
+	// Index/Total locate the benchmark within the campaign.
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// Done is false when the benchmark starts, true when it finishes.
+	Done bool `json:"done"`
+}
+
+// eventLog is a campaign's append-only event history plus the condition
+// subscribers block on. Campaigns are bounded (tens of trace events), so
+// the log keeps everything; a reconnecting client can always replay.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append adds one typed event; payload must marshal (programmer error if
+// not, so it panics rather than silently dropping progress).
+func (l *eventLog) append(typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		panic("controlapi: unmarshalable event payload: " + err.Error())
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, Event{Seq: len(l.events), Type: typ, Data: data})
+	l.cond.Broadcast()
+}
+
+// close marks the stream complete and wakes all subscribers.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+// next blocks until an event with seq >= from exists (returning it), the
+// log closes with no further events, or stop reports true (both return
+// ok=false). Callers watching a request context arrange for wake() when it
+// ends so the Wait loop re-checks stop.
+func (l *eventLog) next(from int, stop func() bool) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if stop != nil && stop() {
+			return Event{}, false
+		}
+		if from < len(l.events) {
+			return l.events[from], true
+		}
+		if l.closed {
+			return Event{}, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// wake re-runs every blocked next loop (used when a subscriber's request
+// context ends — the condition itself lives outside the log).
+func (l *eventLog) wake() {
+	l.mu.Lock()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

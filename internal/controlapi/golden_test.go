@@ -1,0 +1,94 @@
+package controlapi
+
+import (
+	"context"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func contextWithTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 60*time.Second)
+}
+
+// TestCampaignResultGolden pins the campaign-result response byte for
+// byte. The response of a pinned-seed campaign is a pure function of the
+// spec — no timestamps, no hostnames, no map ordering — so this fixture
+// only changes when the wire format or the science deliberately does.
+// Regenerate with: go test ./internal/controlapi -run Golden -update
+func TestCampaignResultGolden(t *testing.T) {
+	hook, ch := stateWatcher()
+	s, ts := newTestServer(t, func(o *Options) { o.OnStateChange = hook })
+	spec := CampaignSpec{
+		Benchmarks:  []string{"fib"},
+		Invocations: 2,
+		Iterations:  3,
+		Seed:        42,
+		Noise:       "quiet",
+		Tenant:      "golden",
+	}
+	st := submit(t, ts, spec)
+	s.Start()
+	waitFor(t, ch, st.ID, StateDone)
+
+	got := getBody(t, ts, "/api/v1/campaigns/"+st.ID)
+	golden := filepath.Join("testdata", "campaign_result.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (re-run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("campaign result drifted from golden %s\n--- got\n%s--- want\n%s", golden, got, want)
+	}
+
+	// The same document must survive a daemon restart byte-identically:
+	// a successor process serves the persisted result, not a re-marshal.
+	ctx, cancel := contextWithTimeout(t)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Options{DataDir: s.opts.DataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	again := getBody(t, ts2, "/api/v1/campaigns/"+st.ID)
+	if string(again) != string(want) {
+		t.Errorf("restarted daemon serves a different result document\n--- got\n%s", again)
+	}
+}
+
+func getBody(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

@@ -1,0 +1,70 @@
+package controlapi
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/exitcode"
+)
+
+// The HTTP surface adopts the repository's exit-code taxonomy
+// (internal/exitcode) instead of inventing a second failure vocabulary:
+// every error response carries the taxonomy name and exit code a CLI
+// should propagate, and ExitCode maps any HTTP status back onto the
+// taxonomy deterministically. CI scripts therefore branch on the same five
+// codes whether a step ran `pybench` locally or talked to a daemon.
+//
+//	2xx                         → 0 ok
+//	400 404 405 409             → 2 usage      (the request is wrong; retrying verbatim cannot help)
+//	429 500 502 503             → 3 infra      (the service is full, draining, or broken; retrying may help)
+//
+// Campaign *outcomes* are not HTTP statuses: a campaign that finished
+// below quorum reports state "degraded" with exit 4 inside a 200 response,
+// exactly as the CLI exits 4 after printing its partial table.
+
+// ExitCode maps an HTTP response status onto the exit-code taxonomy.
+func ExitCode(status int) int {
+	switch {
+	case status < 400:
+		return exitcode.OK
+	case status == http.StatusBadRequest, status == http.StatusNotFound,
+		status == http.StatusMethodNotAllowed, status == http.StatusConflict:
+		return exitcode.Usage
+	default:
+		return exitcode.Infra
+	}
+}
+
+// APIError is the JSON error envelope of every non-2xx response.
+type APIError struct {
+	// Status is the HTTP status code (echoed so a streamed or logged body
+	// is self-describing).
+	Status int `json:"status"`
+	// Taxonomy is exitcode.String of ExitCode(Status).
+	Taxonomy string `json:"taxonomy"`
+	// Exit is the exit code a CLI should propagate.
+	Exit int `json:"exit_code"`
+	// Message is the human-readable failure description.
+	Message string `json:"message"`
+}
+
+func (e *APIError) Error() string { return e.Message }
+
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	//benchlint:allow uncheckederr — error-path write; the response is already committed
+	json.NewEncoder(w).Encode(errorBody{Error: APIError{
+		Status:   status,
+		Taxonomy: exitcode.String(ExitCode(status)),
+		Exit:     ExitCode(status),
+		Message:  msg,
+	}})
+}
+
+// errorBody wraps APIError under an "error" key so success and failure
+// payloads are structurally disjoint.
+type errorBody struct {
+	Error APIError `json:"error"`
+}

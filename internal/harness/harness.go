@@ -42,6 +42,13 @@ type Options struct {
 	// Unlike the step budget it depends on the host clock, so it exists
 	// for supervision (kill a hung invocation), not for measurement.
 	WallBudget time.Duration `json:",omitempty"`
+	// AbortCheck, when non-nil, is polled by the engine alongside the wall
+	// budget; a non-nil return aborts the in-flight invocation. It exists
+	// for control-plane cancellation (a daemon killing a running campaign),
+	// never for measurement. Being a function it does not serialize:
+	// subprocess workers and checkpoint keys ignore it, so cancellation is
+	// an in-process facility.
+	AbortCheck func() error `json:"-"`
 	// Opt is the bytecode-optimization level (see minipy.Optimize). 0 runs
 	// the compiler's output unchanged. Levels >= 1 rewrite the simulated
 	// opcode stream, so optimized runs are a distinct experiment arm — never
@@ -281,12 +288,16 @@ func (r *Runner) runInvocation(code *minipy.Code,
 	if r.obs.Profile != nil {
 		vtracer = r.obs.Profile
 	}
-	var abort func() error
+	abort := opts.AbortCheck
 	if opts.WallBudget > 0 {
 		deadline := time.Now().Add(opts.WallBudget) //benchlint:allow clock
+		cancel := abort
 		abort = func() error {
 			if time.Now().After(deadline) { //benchlint:allow clock
 				return fmt.Errorf("wall budget %s exceeded", opts.WallBudget)
+			}
+			if cancel != nil {
+				return cancel()
 			}
 			return nil
 		}

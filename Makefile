@@ -13,10 +13,15 @@ GATE_FLAGS = -bench $(GATE_BENCH) -invocations 6 -iterations 10 -seed 42 -noise 
 .PHONY: all build test lint verify bench bench-smoke bench-gate bench-go bench-go-baseline bench-track chaos-soak daemon-smoke clean
 
 # Pinned configuration of the wall-clock VM microbenchmarks. BENCH_vm.json
-# is the committed pre-optimization baseline; bench-go compares a fresh run
-# against it (informational: ns/op is host-dependent).
+# is the committed register-tier baseline; bench-go compares a fresh run
+# against it. ns/op deltas are informational (host-dependent), but
+# allocs_per_op and bytes_per_op are gated: memory behavior is
+# host-independent, so growth past both the relative and absolute floors
+# fails the target. BENCHVM_TIER selects the tier under test (empty =
+# register; "stack" for the escape-hatch side-by-side run).
 BENCHGO_PKGS = ./internal/vm
 BENCHGO_FLAGS = -run '^$$' -bench . -benchmem -benchtime 1s -count 3
+BENCHGO_MEMGATE = -max-alloc-growth 10 -max-bytes-growth 25
 
 all: build
 
@@ -43,14 +48,18 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # bench-go runs the wall-clock interpreter microkernels (dispatch, call,
-# attribute, global-lookup, iteration, probe-entry) and prints per-benchmark
-# ns/op deltas vs. the committed BENCH_vm.json baseline.
+# attribute, global-lookup, iteration, probe-entry), prints per-benchmark
+# ns/op deltas vs. the committed BENCH_vm.json baseline, and fails if any
+# kernel's allocs/op or B/op grew past the memory gate — the register
+# tier's unboxing win is locked in by this target.
 bench-go:
-	$(GO) test $(BENCHGO_PKGS) $(BENCHGO_FLAGS) | $(GO) run ./cmd/benchjson -baseline BENCH_vm.json
+	$(GO) test $(BENCHGO_PKGS) $(BENCHGO_FLAGS) | \
+		$(GO) run ./cmd/benchjson -baseline BENCH_vm.json $(BENCHGO_MEMGATE)
 
-# bench-go-baseline regenerates BENCH_vm.json from the current tree. Only
-# run this deliberately: the committed file is the pre-optimization anchor
-# that future PRs measure against.
+# bench-go-baseline regenerates BENCH_vm.json from the current tree with
+# stamped provenance (commit, branch, go version, timestamp). Only run
+# this deliberately: the committed file is the anchor that future PRs
+# measure against, and it must be a register-tier (default) run.
 bench-go-baseline:
 	$(GO) test $(BENCHGO_PKGS) $(BENCHGO_FLAGS) | $(GO) run ./cmd/benchjson -out BENCH_vm.json
 
@@ -70,8 +79,12 @@ bench-smoke:
 #   1. a fresh run of the pinned-seed experiment — sequentially and with 4
 #      worker shards — must be bit-identical to the committed baseline
 #      (simulated times are host-independent, so this holds on any machine);
-#   2. benchgate must pass the fresh candidate against the baseline;
-#   3. benchgate must FAIL (non-zero) on the committed 20%-slowdown fixture.
+#   2. the stack-tier escape hatch (-vm stack) must produce bit-identical
+#      sample sets to the register-tier default — the two-tier equivalence
+#      contract (DESIGN.md §16) — sequentially, with 4 worker shards, and
+#      under process isolation;
+#   3. benchgate must pass the fresh candidate against the baseline;
+#   4. benchgate must FAIL (non-zero) on the committed 20%-slowdown fixture.
 bench-gate:
 	rm -rf $(GATEDIR) && mkdir -p $(GATEDIR)
 	$(GO) run ./cmd/pybench $(GATE_FLAGS) > $(GATEDIR)/seq.json
@@ -83,6 +96,15 @@ bench-gate:
 	$(GO) run ./cmd/pybench $(GATE_FLAGS) -isolate > $(GATEDIR)/iso.json
 	$(GO) run ./cmd/benchgate -baseline $(GATEDIR)/seq.json \
 		-candidate $(GATEDIR)/iso.json -equivalence
+	$(GO) run ./cmd/pybench $(GATE_FLAGS) -vm stack > $(GATEDIR)/stack-seq.json
+	$(GO) run ./cmd/benchgate -baseline $(GATEDIR)/seq.json \
+		-candidate $(GATEDIR)/stack-seq.json -equivalence
+	$(GO) run ./cmd/pybench $(GATE_FLAGS) -vm stack -workers 4 -parallel-policy force > $(GATEDIR)/stack-par.json
+	$(GO) run ./cmd/benchgate -baseline $(GATEDIR)/seq.json \
+		-candidate $(GATEDIR)/stack-par.json -equivalence
+	$(GO) run ./cmd/pybench $(GATE_FLAGS) -vm stack -isolate > $(GATEDIR)/stack-iso.json
+	$(GO) run ./cmd/benchgate -baseline $(GATEDIR)/seq.json \
+		-candidate $(GATEDIR)/stack-iso.json -equivalence
 	$(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \
 		-candidate $(GATEDIR)/seq.json
 	! $(GO) run ./cmd/benchgate -baseline cmd/benchgate/testdata/baseline.json \

@@ -8,63 +8,52 @@
 //	go test ./internal/vm -bench . -benchmem | benchjson -out BENCH_vm.json
 //	go test ./internal/vm -bench . -benchmem | benchjson -baseline BENCH_vm.json
 //	go test ... | benchjson -baseline BENCH_vm.json -require BenchmarkDispatchArith:25
+//	go test ... | benchjson -baseline BENCH_vm.json -max-alloc-growth 10 -max-bytes-growth 25
 //
 // Comparison prints per-benchmark ns/op deltas. Wall-clock numbers are
-// host-dependent, so the compare mode is informational by default; -require
-// NAME:PCT entries turn specific improvements into hard gates (exit 1 when
-// the named benchmark improved by less than PCT percent vs. the baseline).
+// host-dependent, so the ns/op compare mode is informational by default;
+// -require NAME:PCT entries turn specific improvements into hard gates
+// (exit 1 when the named benchmark improved by less than PCT percent vs.
+// the baseline). allocs_per_op and bytes_per_op, by contrast, are
+// host-stable, so -max-alloc-growth / -max-bytes-growth gate *every*
+// benchmark's memory profile against the baseline: exit 1 when any grows
+// past the given percentage AND past the absolute practical-effect floor
+// (-alloc-floor / -bytes-floor) — the floor keeps one-allocation jitter on
+// lean benchmarks from failing CI (see internal/benchfmt.MemGate).
 //
 // Emitted documents carry a provenance block (commit SHA, branch, Go
 // version, UTC timestamp — override with -commit/-branch, drop with
 // -no-stamp) so cmd/benchtrack can attribute every measurement to the
 // commit range it landed in without side-channel flags.
 //
-// Exit codes follow the repository taxonomy: 0 = pass; 1 = a -require gate
-// failed; 2 = usage; 3 = unreadable/unwritable input or output.
+// Exit codes follow the repository taxonomy: 0 = pass; 1 = a -require or
+// memory gate failed; 2 = usage; 3 = unreadable/unwritable input or output.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/exitcode"
 )
 
-// Entry is one benchmark measurement.
-type Entry struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-}
+// Doc and Entry are the shared benchmark-document model (the committed
+// BENCH_vm.json shape), owned by internal/benchfmt since the memory gate
+// moved there.
+type (
+	Doc   = benchfmt.Doc
+	Entry = benchfmt.Entry
+)
 
-// Doc is the JSON document benchjson writes. The provenance block (commit,
-// branch, go_version, time_utc) is stamped on emission so cmd/benchtrack
-// can attribute the measurements to a commit without side-channel flags;
-// readers tolerate docs that predate the stamp.
-type Doc struct {
-	Goos      string `json:"goos,omitempty"`
-	Goarch    string `json:"goarch,omitempty"`
-	Pkg       string `json:"pkg,omitempty"`
-	CPU       string `json:"cpu,omitempty"`
-	Commit    string `json:"commit,omitempty"`
-	Branch    string `json:"branch,omitempty"`
-	GoVersion string `json:"go_version,omitempty"`
-	TimeUTC   string `json:"time_utc,omitempty"`
-
-	Benchmarks []Entry `json:"benchmarks"`
-}
+func parse(r io.Reader) (*Doc, error) { return benchfmt.Parse(r) }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
@@ -78,12 +67,19 @@ type requirement struct {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	def := benchfmt.DefaultMemThresholds()
 	var (
 		outPath  = fs.String("out", "", "write the parsed JSON document to this file ('-' = stdout)")
 		basePath = fs.String("baseline", "", "compare against this baseline JSON document")
 		commit   = fs.String("commit", "", "commit SHA to stamp into the document (default: git rev-parse HEAD)")
 		branch   = fs.String("branch", "", "branch name to stamp (default: git rev-parse --abbrev-ref HEAD)")
 		noStamp  = fs.Bool("no-stamp", false, "omit the provenance block (commit/branch/go version/time)")
+
+		allocPct   = fs.Float64("max-alloc-growth", -1, "fail when any benchmark's allocs_per_op grew more than this percent vs. the baseline (negative = off)")
+		bytesPct   = fs.Float64("max-bytes-growth", -1, "fail when any benchmark's bytes_per_op grew more than this percent vs. the baseline (negative = off)")
+		allocFloor = fs.Int64("alloc-floor", def.AllocFloor, "absolute allocs_per_op growth below which the alloc gate never fails")
+		bytesFloor = fs.Int64("bytes-floor", def.BytesFloor, "absolute bytes_per_op growth below which the bytes gate never fails")
+
 		requires requireList
 	)
 	fs.Var(&requires, "require", "NAME:PCT — fail unless NAME improved by at least PCT% vs. the baseline (repeatable)")
@@ -116,18 +112,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				return exitcode.Infra
 			}
 		}
-		if len(requires) > 0 {
-			fmt.Fprintln(stderr, "benchjson: -require needs -baseline")
+		if len(requires) > 0 || *allocPct >= 0 || *bytesPct >= 0 {
+			fmt.Fprintln(stderr, "benchjson: -require and the memory gates need -baseline")
 			return exitcode.Usage
 		}
 		return exitcode.OK
 	}
-	base, err := readDoc(*basePath)
+	base, err := benchfmt.ReadFile(*basePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return exitcode.Infra
 	}
-	return compare(base, doc, requires, stdout, stderr)
+	th := benchfmt.MemThresholds{
+		MaxAllocGrowthPct: *allocPct,
+		MaxBytesGrowthPct: *bytesPct,
+		AllocFloor:        *allocFloor,
+		BytesFloor:        *bytesFloor,
+	}
+	return compare(base, doc, requires, th, stdout, stderr)
 }
 
 // requireList parses repeated -require NAME:PCT flags.
@@ -174,93 +176,30 @@ func gitOutput(args ...string) string {
 	return strings.TrimSpace(string(out))
 }
 
-// benchLine matches e.g.
-// "BenchmarkDispatchArith-8   471   469526 ns/op   79336 B/op   9176 allocs/op"
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
-func parse(r io.Reader) (*Doc, error) {
-	doc := &Doc{}
-	index := map[string]int{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			doc.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "pkg: "):
-			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "cpu: "):
-			doc.CPU = strings.TrimPrefix(line, "cpu: ")
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		e := Entry{Name: m[1]}
-		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		// With -count N the same benchmark appears N times; keep the
-		// fastest run. Under one-sided scheduling noise the minimum is the
-		// best estimator of true cost (per the methodology papers this repo
-		// reproduces, wall-clock noise only ever adds time).
-		if i, ok := index[e.Name]; ok {
-			if e.NsPerOp < doc.Benchmarks[i].NsPerOp {
-				doc.Benchmarks[i] = e
-			}
-			continue
-		}
-		index[e.Name] = len(doc.Benchmarks)
-		doc.Benchmarks = append(doc.Benchmarks, e)
-	}
-	return doc, sc.Err()
-}
-
-func readDoc(path string) (*Doc, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	doc := &Doc{}
-	if err := json.Unmarshal(data, doc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return doc, nil
-}
-
 func writeDoc(doc *Doc, path string, stdout io.Writer) error {
-	data, err := json.MarshalIndent(doc, "", "  ")
+	if path == "-" {
+		return doc.Write(stdout)
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if path == "-" {
-		_, err = stdout.Write(data)
+	if err := doc.Write(f); err != nil {
+		//benchlint:allow uncheckederr — already failing; the write error wins
+		f.Close()
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return f.Close()
 }
 
 // compare prints per-benchmark ns/op deltas vs. the baseline and enforces
-// any -require thresholds. Positive improvement = candidate is faster.
-func compare(base, cand *Doc, reqs []requirement, stdout, stderr io.Writer) int {
-	byName := map[string]Entry{}
-	for _, e := range base.Benchmarks {
-		byName[e.Name] = e
-	}
+// any -require thresholds plus the memory gate. Positive improvement =
+// candidate is faster.
+func compare(base, cand *Doc, reqs []requirement, th benchfmt.MemThresholds, stdout, stderr io.Writer) int {
 	improvements := map[string]float64{}
 	fmt.Fprintf(stdout, "%-28s %14s %14s %9s %14s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs/op")
 	for _, e := range cand.Benchmarks {
-		b, ok := byName[e.Name]
+		b, ok := base.Entry(e.Name)
 		if !ok {
 			fmt.Fprintf(stdout, "%-28s %14s %14.0f %9s %8d->%-5d\n", e.Name, "(new)", e.NsPerOp, "", 0, e.AllocsPerOp)
 			continue
@@ -282,6 +221,17 @@ func compare(base, cand *Doc, reqs []requirement, stdout, stderr io.Writer) int 
 			failed++
 		default:
 			fmt.Fprintf(stdout, "benchjson: PASS: %s improved %.1f%% (>= %.1f%%)\n", r.name, imp, r.pct)
+		}
+	}
+	if th.MaxAllocGrowthPct >= 0 || th.MaxBytesGrowthPct >= 0 {
+		violations := benchfmt.MemGate(base, cand, th)
+		for _, v := range violations {
+			fmt.Fprintf(stderr, "benchjson: FAIL: %v\n", v)
+			failed++
+		}
+		if len(violations) == 0 {
+			fmt.Fprintf(stdout, "benchjson: PASS: memory gate (alloc growth <= %.0f%% or <= %d allocs; bytes growth <= %.0f%% or <= %d B)\n",
+				th.MaxAllocGrowthPct, th.AllocFloor, th.MaxBytesGrowthPct, th.BytesFloor)
 		}
 	}
 	if failed > 0 {

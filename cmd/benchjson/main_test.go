@@ -2,9 +2,16 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
+
+// gateOff disables the memory gate for the ns/op-focused compare tests.
+var gateOff = benchfmt.MemThresholds{MaxAllocGrowthPct: -1, MaxBytesGrowthPct: -1}
 
 const sampleOutput = `goos: linux
 goarch: amd64
@@ -59,13 +66,13 @@ func TestCompareRequire(t *testing.T) {
 		{Name: "BenchmarkCallFib", NsPerOp: 950},       // 5% faster
 	}}
 	var out, errB bytes.Buffer
-	code := compare(base, cand, []requirement{{name: "BenchmarkDispatchArith", pct: 25}}, &out, &errB)
+	code := compare(base, cand, []requirement{{name: "BenchmarkDispatchArith", pct: 25}}, gateOff, &out, &errB)
 	if code != 0 {
 		t.Fatalf("expected pass, got %d: %s", code, errB.String())
 	}
 	out.Reset()
 	errB.Reset()
-	code = compare(base, cand, []requirement{{name: "BenchmarkCallFib", pct: 25}}, &out, &errB)
+	code = compare(base, cand, []requirement{{name: "BenchmarkCallFib", pct: 25}}, gateOff, &out, &errB)
 	if code != 1 {
 		t.Fatalf("expected fail, got %d", code)
 	}
@@ -120,7 +127,63 @@ func TestCompareToleratesUnstampedBaseline(t *testing.T) {
 	base := &Doc{Benchmarks: []Entry{{Name: "BenchmarkDispatchArith", NsPerOp: 1000}}}
 	cand := &Doc{Commit: "abc", Benchmarks: []Entry{{Name: "BenchmarkDispatchArith", NsPerOp: 900}}}
 	var out, errB bytes.Buffer
-	if code := compare(base, cand, nil, &out, &errB); code != 0 {
+	if code := compare(base, cand, nil, gateOff, &out, &errB); code != 0 {
 		t.Fatalf("exit %d: %s", code, errB.String())
+	}
+}
+
+// writeBaseline marshals a doc to a temp file and returns its path.
+func writeBaseline(t *testing.T, doc *Doc) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The memory gate end to end through the CLI: the sample output's 9176
+// allocs/op against a 4000-alloc baseline is a clear regression; the same
+// numbers pass once the gate is off or the baseline matches.
+func TestRunMemoryGate(t *testing.T) {
+	lean := writeBaseline(t, &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkDispatchArith", NsPerOp: 400000, BytesPerOp: 79336, AllocsPerOp: 4000},
+	}})
+	var out, errB bytes.Buffer
+	code := run([]string{"-no-stamp", "-baseline", lean, "-max-alloc-growth", "10"},
+		strings.NewReader(sampleOutput), &out, &errB)
+	if code != 1 {
+		t.Fatalf("alloc regression should exit 1, got %d\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errB.String(), "allocs/op grew 4000 -> 9176") {
+		t.Errorf("missing violation detail: %s", errB.String())
+	}
+
+	match := writeBaseline(t, &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkDispatchArith", NsPerOp: 400000, BytesPerOp: 79336, AllocsPerOp: 9176},
+	}})
+	out.Reset()
+	errB.Reset()
+	code = run([]string{"-no-stamp", "-baseline", match, "-max-alloc-growth", "10", "-max-bytes-growth", "25"},
+		strings.NewReader(sampleOutput), &out, &errB)
+	if code != 0 {
+		t.Fatalf("matching baseline should pass, got %d: %s", code, errB.String())
+	}
+	if !strings.Contains(out.String(), "PASS: memory gate") {
+		t.Errorf("missing gate verdict: %s", out.String())
+	}
+}
+
+// The memory gates require a baseline, like -require.
+func TestMemoryGateNeedsBaseline(t *testing.T) {
+	var out, errB bytes.Buffer
+	code := run([]string{"-no-stamp", "-max-alloc-growth", "10"},
+		strings.NewReader(sampleOutput), &out, &errB)
+	if code != 2 {
+		t.Fatalf("want usage exit 2, got %d", code)
 	}
 }

@@ -1,6 +1,6 @@
 // Command benchlint is a repository-local vet pass that enforces the
 // measurement-methodology invariants the harness depends on. It is built
-// on go/ast alone (no external analysis frameworks) and checks four
+// on go/ast alone (no external analysis frameworks) and checks five
 // rules across the Go tree:
 //
 //   - wallclock: time.Now / time.Since / time.Until may appear only at
@@ -11,6 +11,12 @@
 //     (the interpreter dispatch loop and its helpers) must not call into
 //     fmt, log, os, time, or math/rand — all of which allocate, lock, or
 //     syscall and would perturb the very code being measured.
+//   - boxedhot: hot-path functions (the same benchlint:hotpath marker)
+//     must not take or return a bare interface-typed minipy.Value where a
+//     tagged word suffices — every such signature forces callers to box,
+//     which is exactly the allocation the register tier exists to avoid.
+//     Containers of boxed values ([]minipy.Value) are fine; genuine escape
+//     points carry benchlint:allow boxedhot in the doc comment.
 //   - globalrand: the process-global math/rand source is forbidden
 //     everywhere; randomness must flow from explicitly seeded sources so
 //     experiments replay bit-identically.

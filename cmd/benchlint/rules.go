@@ -30,11 +30,24 @@ func (f Finding) String() string {
 //	benchlint:hotpath         — in a function's doc comment, marks it as
 //	                            part of the interpreter dispatch loop, where
 //	                            allocation-prone stdlib calls are forbidden
+//	benchlint:allow boxedhot  — in a hot-path function's doc comment,
+//	                            sanctions interface-typed minipy.Value in its
+//	                            signature (a genuine escape point: the boxing
+//	                            converters themselves, generic fallbacks on
+//	                            already-boxed operands, the stack tier's
+//	                            boxed frame contract)
 const (
 	allowClockDirective     = "benchlint:allow clock"
 	allowUncheckedDirective = "benchlint:allow uncheckederr"
+	allowBoxedhotDirective  = "benchlint:allow boxedhot"
 	hotpathDirective        = "benchlint:hotpath"
 )
+
+// minipyValuePath is the import path of the boxed value package. A
+// hot-path function whose signature traffics in this interface type forces
+// its callers to box tagged words; the boxedhot rule keeps the tagged
+// representation from silently leaking back into boxed form.
+const minipyValuePath = "repro/internal/minipy"
 
 // hotpathForbidden are packages whose direct calls inside a hot-path
 // function distort measurement: fmt and log allocate and acquire locks,
@@ -155,10 +168,14 @@ func (l *linter) file(file *ast.File) {
 		if !ok || fd.Doc == nil || fd.Body == nil {
 			continue
 		}
-		if !strings.Contains(fd.Doc.Text(), hotpathDirective) {
+		doc := fd.Doc.Text()
+		if !strings.Contains(doc, hotpathDirective) {
 			continue
 		}
 		l.checkHotpath(fd.Name.Name, fd.Body)
+		if !strings.Contains(doc, allowBoxedhotDirective) {
+			l.checkBoxedhot(fd)
+		}
 	}
 }
 
@@ -275,6 +292,38 @@ func (l *linter) checkUncheckedErr(call *ast.CallExpr, deferred bool) {
 	l.report(call.Pos(), "uncheckederr",
 		"%s of %s drops its error return (handle it, or annotate //%s with the reason)",
 		how, name, allowUncheckedDirective)
+}
+
+// checkBoxedhot flags plain minipy.Value parameters and results on a
+// hot-path function's signature. The register tier keeps small values as
+// tagged words (rslot); an interface-typed Value in a hot-path signature
+// forces every call to box — exactly the allocation the tier exists to
+// avoid. The match is the bare selector type only: a []minipy.Value frame
+// slice or *minipy.List receiver is a container of already-boxed values,
+// not a boxing site. Genuine escape points (the boxing converters, the
+// generic fallback on boxed operands, the stack tier's frame contract)
+// carry benchlint:allow boxedhot in their doc comment with the reason.
+func (l *linter) checkBoxedhot(fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			sel, ok := field.Type.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Value" {
+				continue
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Obj != nil || l.imports[id.Name] != minipyValuePath {
+				continue
+			}
+			l.report(field.Type.Pos(), "boxedhot",
+				"hot-path function %s has an interface-typed minipy.Value %s; pass a tagged word, or annotate the doc comment with %s and the reason",
+				fd.Name.Name, what, allowBoxedhotDirective)
+		}
+	}
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
 }
 
 // checkHotpath walks the body of a benchlint:hotpath function and flags

@@ -29,15 +29,17 @@ func TestViolatingFixture(t *testing.T) {
 		rule string
 		line int
 	}{
-		{"wallclock", 16}, // time.Now in MeasureOnce
-		{"wallclock", 18}, // time.Since in MeasureOnce
-		{"globalrand", 24},
-		{"hotpath", 32},
-		{"hotpathmap", 44},   // make(map) in dispatchCached
-		{"hotpathmap", 45},   // map literal in dispatchCached
-		{"uncheckederr", 64}, // bare os.Remove in Persist
-		{"uncheckederr", 65}, // bare j.Append in Persist
-		{"uncheckederr", 66}, // defer j.Close in Persist
+		{"wallclock", 18}, // time.Now in MeasureOnce
+		{"wallclock", 20}, // time.Since in MeasureOnce
+		{"globalrand", 26},
+		{"hotpath", 34},
+		{"hotpathmap", 46},   // make(map) in dispatchCached
+		{"hotpathmap", 47},   // map literal in dispatchCached
+		{"uncheckederr", 66}, // bare os.Remove in Persist
+		{"uncheckederr", 67}, // bare j.Append in Persist
+		{"uncheckederr", 68}, // defer j.Close in Persist
+		{"boxedhot", 75},     // minipy.Value parameter of boxedEval
+		{"boxedhot", 75},     // minipy.Value result of boxedEval
 	}
 	if len(fs) != len(want) {
 		t.Fatalf("got %d findings, want %d:\n%v", len(fs), len(want), fs)
@@ -55,7 +57,7 @@ func TestViolatingFixture(t *testing.T) {
 			t.Errorf("unexpected finding %v", f)
 		}
 	}
-	for _, r := range []string{"wallclock", "globalrand", "hotpath", "hotpathmap", "uncheckederr"} {
+	for _, r := range []string{"wallclock", "globalrand", "hotpath", "hotpathmap", "uncheckederr", "boxedhot"} {
 		if !seen[r] {
 			t.Errorf("rule %s produced no finding", r)
 		}

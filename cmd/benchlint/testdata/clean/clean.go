@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"os"
 	"time"
+
+	"repro/internal/minipy"
 )
 
 // Clock is the sanctioned wall-clock site for this package.
@@ -76,4 +78,23 @@ func persist(j interface {
 	//benchlint:allow uncheckederr — cleanup; the append error wins
 	defer j.Close()
 	return nil
+}
+
+// loadSlot reads an already-boxed value out of a frame slice. Containers
+// of boxed values ([]minipy.Value) are fine on the hot path — only a bare
+// minipy.Value in the signature is a boxing site.
+// benchlint:hotpath
+func loadSlot(frame []minipy.Value, i int) []minipy.Value {
+	return frame[i : i+1]
+}
+
+// box converts a tagged word back to the boxed representation: the
+// sanctioned escape point at the tier boundary.
+// benchlint:hotpath
+// benchlint:allow boxedhot — this is the boxing converter itself
+func box(tag int, num int64) minipy.Value {
+	_ = tag
+	_ = num
+	var v minipy.Value
+	return v
 }

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"os"
 	"time"
+
+	"repro/internal/minipy"
 )
 
 // MeasureOnce times a single body execution. The bare time.Now calls here
@@ -64,4 +66,13 @@ func Persist(j interface {
 	os.Remove("stale.json") // violation: uncheckederr
 	j.Append(nil)           // violation: uncheckederr
 	defer j.Close()         // violation: uncheckederr
+}
+
+// boxedEval simulates a register-tier helper that traffics in boxed
+// values on the hot path: both the parameter and the result force the
+// caller to box tagged words.
+// benchlint:hotpath
+func boxedEval(op int, v minipy.Value) minipy.Value { // violation: boxedhot x2
+	_ = op
+	return v
 }

@@ -144,9 +144,12 @@ func TestFactsMatchesAnalyzeCertificate(t *testing.T) {
 	}
 	out := stdout.String()
 	for _, want := range []string{
-		"\"version\": 1",
+		"\"version\": 2",
 		"\"determinism\"",
 		"\"functions\"",
+		"\"registers\"",
+		"\"lowered\": true",
+		"\"unboxed_sites\"",
 		"\"bounded\": true",
 		"\"module_steps\"",
 	} {

@@ -10,7 +10,7 @@ import (
 // CertVersion identifies the certificate schema. Bump on any change to the
 // JSON shape or to the meaning of a claim — consumers refuse versions they
 // do not know.
-const CertVersion = 1
+const CertVersion = 2
 
 // Certificate is the proof-carrying analysis artifact for one module: the
 // determinism audit (PR 3), per-function interprocedural facts, and the
@@ -41,6 +41,8 @@ type FuncFacts struct {
 	Effects   EffectFacts   `json:"effects"`
 	Escape    EscapeFacts   `json:"escape"`
 	Intervals IntervalFacts `json:"intervals"`
+	// Registers summarizes the register-tier lowering (schema v2).
+	Registers RegisterFacts `json:"registers"`
 	// Calls lists resolved direct callees (sorted, deduplicated);
 	// "?" marks at least one unresolved call site.
 	Calls     []string `json:"calls,omitempty"`
@@ -178,6 +180,7 @@ func buildCertificate(m *ModuleFacts) *Certificate {
 				DivSitesSafe: run.divSafe,
 				IntClaims:    len(run.claims),
 			},
+			Registers: registerPlan(code, run.claims),
 			StepBound: "unbounded",
 		}
 		if b, ok := m.FuncBounds[code]; ok {

@@ -1,0 +1,133 @@
+// Package benchfmt is the shared model of the repository's wall-clock
+// benchmark documents: the JSON shape cmd/benchjson emits (the committed
+// BENCH_vm.json), the parser that produces it from `go test -bench
+// -benchmem` text, and the memory-regression gate that compares two
+// documents' allocs_per_op / bytes_per_op with a practical-effect floor.
+//
+// It exists so the three consumers — cmd/benchjson (emission + compare),
+// cmd/benchgate (CI gating), and internal/perfstore (longitudinal
+// ingestion) — agree on one document type instead of three mirrors.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the benchmark JSON document. The provenance block (commit,
+// branch, go_version, time_utc) is stamped on emission so cmd/benchtrack
+// can attribute the measurements to a commit without side-channel flags;
+// readers tolerate docs that predate the stamp.
+type Doc struct {
+	Goos      string `json:"goos,omitempty"`
+	Goarch    string `json:"goarch,omitempty"`
+	Pkg       string `json:"pkg,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	Commit    string `json:"commit,omitempty"`
+	Branch    string `json:"branch,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	TimeUTC   string `json:"time_utc,omitempty"`
+
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry returns the named benchmark's measurement, if present.
+func (d *Doc) Entry(name string) (Entry, bool) {
+	for _, e := range d.Benchmarks {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// benchLine matches e.g.
+// "BenchmarkDispatchArith-8   471   469526 ns/op   79336 B/op   9176 allocs/op"
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Parse converts `go test -bench -benchmem` text output into a document.
+// With -count N the same benchmark appears N times; the fastest run is
+// kept — under one-sided scheduling noise the minimum is the best
+// estimator of true cost (per the methodology papers this repo
+// reproduces, wall-clock noise only ever adds time).
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	index := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if i, ok := index[e.Name]; ok {
+			if e.NsPerOp < doc.Benchmarks[i].NsPerOp {
+				doc.Benchmarks[i] = e
+			}
+			continue
+		}
+		index[e.Name] = len(doc.Benchmarks)
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	return doc, sc.Err()
+}
+
+// ReadFile loads a document from disk.
+func ReadFile(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// Write emits the document as indented JSON to w.
+func (d *Doc) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

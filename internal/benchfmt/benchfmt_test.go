@@ -1,0 +1,49 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/vm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDispatchArith-8   	     471	    469526 ns/op	   79336 B/op	    9176 allocs/op
+BenchmarkDispatchArith-8   	     480	    450000 ns/op	   79336 B/op	    9176 allocs/op
+BenchmarkNoMem-8           	    1000	      1234.5 ns/op
+PASS
+ok  	repro/internal/vm	2.124s
+`
+
+func TestParseKeepsFastestRun(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.CPU == "" {
+		t.Errorf("header not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (duplicates folded)", len(doc.Benchmarks))
+	}
+	e, ok := doc.Entry("BenchmarkDispatchArith")
+	if !ok || e.NsPerOp != 450000 || e.AllocsPerOp != 9176 {
+		t.Errorf("fastest run not kept: %+v", e)
+	}
+	if _, ok := doc.Entry("BenchmarkMissing"); ok {
+		t.Error("Entry found a benchmark that is not there")
+	}
+}
+
+func TestWriteRoundTrips(t *testing.T) {
+	doc := &Doc{Commit: "abc", Benchmarks: []Entry{{Name: "BenchmarkX", NsPerOp: 10}}}
+	var sb strings.Builder
+	if err := doc.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s := sb.String()
+	if !strings.Contains(s, `"commit": "abc"`) || !strings.Contains(s, `"name": "BenchmarkX"`) {
+		t.Errorf("written doc missing fields:\n%s", s)
+	}
+}

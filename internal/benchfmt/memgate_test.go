@@ -1,0 +1,69 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func docOf(entries ...Entry) *Doc { return &Doc{Benchmarks: entries} }
+
+func TestMemGatePassesWithinThresholds(t *testing.T) {
+	base := docOf(Entry{Name: "BenchmarkA", AllocsPerOp: 1000, BytesPerOp: 100000})
+	cand := docOf(Entry{Name: "BenchmarkA", AllocsPerOp: 1050, BytesPerOp: 110000})
+	if v := MemGate(base, cand, DefaultMemThresholds()); len(v) != 0 {
+		t.Errorf("5%%/10%% growth should pass the default gate, got %v", v)
+	}
+}
+
+func TestMemGateFailsPastBothBars(t *testing.T) {
+	base := docOf(Entry{Name: "BenchmarkA", AllocsPerOp: 1000, BytesPerOp: 100000})
+	cand := docOf(Entry{Name: "BenchmarkA", AllocsPerOp: 1200, BytesPerOp: 100000})
+	v := MemGate(base, cand, DefaultMemThresholds())
+	if len(v) != 1 || v[0].Metric != "allocs/op" || v[0].Cand != 1200 {
+		t.Fatalf("20%% alloc growth should fail exactly once, got %v", v)
+	}
+	if !strings.Contains(v[0].String(), "1000 -> 1200") {
+		t.Errorf("violation message = %q", v[0].String())
+	}
+}
+
+// The practical-effect floor: a lean benchmark growing by a couple of
+// allocations is a large percentage but no practical effect.
+func TestMemGateFloorAbsorbsCountJitter(t *testing.T) {
+	base := docOf(Entry{Name: "BenchmarkLean", AllocsPerOp: 13, BytesPerOp: 1752})
+	cand := docOf(Entry{Name: "BenchmarkLean", AllocsPerOp: 15, BytesPerOp: 2100})
+	if v := MemGate(base, cand, DefaultMemThresholds()); len(v) != 0 {
+		t.Errorf("+2 allocs / +348 B is under both floors, got %v", v)
+	}
+	// Past the floor AND the percentage: fails.
+	cand = docOf(Entry{Name: "BenchmarkLean", AllocsPerOp: 40, BytesPerOp: 1752})
+	if v := MemGate(base, cand, DefaultMemThresholds()); len(v) != 1 {
+		t.Errorf("+27 allocs on a 13-alloc baseline should fail, got %v", v)
+	}
+}
+
+func TestMemGateZeroBaselineUsesFloorOnly(t *testing.T) {
+	base := docOf(Entry{Name: "BenchmarkZ"})
+	cand := docOf(Entry{Name: "BenchmarkZ", AllocsPerOp: 100})
+	v := MemGate(base, cand, DefaultMemThresholds())
+	if len(v) != 1 || v[0].GrowthPct != 0 {
+		t.Errorf("zero baseline past the floor should fail with no pct, got %v", v)
+	}
+}
+
+func TestMemGateSkipsNewAndDisabled(t *testing.T) {
+	base := docOf(Entry{Name: "BenchmarkA", AllocsPerOp: 10})
+	cand := docOf(
+		Entry{Name: "BenchmarkA", AllocsPerOp: 10000},
+		Entry{Name: "BenchmarkNew", AllocsPerOp: 99999},
+	)
+	// New benchmark skipped; disabled thresholds gate nothing.
+	off := MemThresholds{MaxAllocGrowthPct: -1, MaxBytesGrowthPct: -1}
+	if v := MemGate(base, cand, off); len(v) != 0 {
+		t.Errorf("disabled gate produced %v", v)
+	}
+	v := MemGate(base, cand, DefaultMemThresholds())
+	if len(v) != 1 || v[0].Name != "BenchmarkA" {
+		t.Errorf("want one violation on BenchmarkA only, got %v", v)
+	}
+}

@@ -459,3 +459,53 @@ func (e *Engine) AblationFactGates() (*report.Table, error) {
 		e.cfg.Invocations, e.cfg.Iterations, 100*e.cfg.Confidence)
 	return t, nil
 }
+
+// AblationRegisterElision — A9: effect of the register tier's move-elision
+// pass (-vm reg-elide) over the default 1:1 register stream. The 1:1
+// lowering executes exactly the stack tier's op sequence (that equality is
+// what benchgate -equivalence proves), so elision is the first register-
+// tier variant that changes the simulated stream: forwarding moves are
+// deleted and their dispatches disappear from the step count. Both arms
+// run the full rigorous design and are compared with Kalibera–Jones
+// intervals, like A7/A8. rel. ops is the deterministic executed-op ratio;
+// the checksum validation inside each Run witnesses that elision preserves
+// program results even though it is not sample-set-preserving.
+func (e *Engine) AblationRegisterElision() (*report.Table, error) {
+	t := report.NewTable("Ablation A9: register-tier move elision (-vm reg-elide)",
+		"benchmark", "class", "rel. ops", "speedup", "CI low", "CI high", "verdict")
+	rig := methodology.Rigorous{Confidence: e.cfg.Confidence, Seed: e.cfg.Seed}
+	arm := func(b workloads.Benchmark, vmSpec string, salt uint64) (*harness.Result, error) {
+		return e.runner.Run(b, harness.Options{
+			Mode:        vm.ModeInterp,
+			Invocations: e.cfg.Invocations,
+			Iterations:  e.cfg.Iterations,
+			Seed:        e.cfg.Seed ^ benchSeed(b.Name, vm.ModeInterp) ^ salt<<48,
+			Noise:       e.cfg.Noise,
+			VM:          vmSpec,
+		})
+	}
+	var opsRels, speedups []float64
+	for _, b := range e.cfg.Benchmarks {
+		base, err := arm(b, "reg", 0)
+		if err != nil {
+			return nil, err
+		}
+		elided, err := arm(b, "reg-elide", 1)
+		if err != nil {
+			return nil, err
+		}
+		sb := base.Invocations[0].Steps
+		se := elided.Invocations[0].Steps
+		opsRel := float64(se[len(se)-1]) / float64(sb[len(sb)-1])
+		cmp := rig.Compare(base.Hierarchical(), elided.Hierarchical())
+		opsRels = append(opsRels, opsRel)
+		speedups = append(speedups, cmp.Speedup)
+		t.AddRow(b.Name, string(b.Class), opsRel,
+			cmp.Speedup, cmp.CI.Lo, cmp.CI.Hi, cmp.Verdict.String())
+	}
+	t.AddRow("GEOMEAN", "", stats.GeoMean(opsRels), stats.GeoMean(speedups), "", "", "")
+	t.Caption = fmt.Sprintf(
+		"Register tier, %d invocations × %d iterations per arm; speedup = reg time / reg-elide time with %v%% Kalibera–Jones CIs; rel. ops = executed register ops per steady iteration, elided / 1:1. rel. ops < 1 measures deleted forwarding moves.",
+		e.cfg.Invocations, e.cfg.Iterations, 100*e.cfg.Confidence)
+	return t, nil
+}

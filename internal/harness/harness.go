@@ -54,6 +54,14 @@ type Options struct {
 	// opcode stream, so optimized runs are a distinct experiment arm — never
 	// comparable sample-for-sample with level 0.
 	Opt int `json:",omitempty"`
+	// VM selects the execution tier: "" or "reg" for the register tier
+	// (default), "stack" for the stack interpreter. The tiers are
+	// host-level implementations of the same simulated machine — sample
+	// sets are bit-identical across them (DESIGN.md §16), so unlike Opt
+	// this is NOT a distinct experiment arm. The exception is "reg-elide"
+	// (the move-elided register stream, ablation A9), which executes fewer
+	// simulated ops and therefore IS a distinct arm.
+	VM string `json:",omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -302,8 +310,14 @@ func (r *Runner) runInvocation(code *minipy.Code,
 			return nil
 		}
 	}
+	tier, regElide, ok := vm.TierSpec(opts.VM)
+	if !ok {
+		return nil, fmt.Errorf("unknown vm tier %q (want reg, stack, or reg-elide)", opts.VM)
+	}
 	engine := vm.New(vm.Config{
 		Mode:       opts.Mode,
+		Tier:       tier,
+		RegElide:   regElide,
 		Cost:       opts.Cost,
 		Probe:      probe,
 		Tracer:     vtracer,

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/noise"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// invocationsJSON marshals just the measurement records of a result — the
+// part that must be bit-identical across execution tiers. Options are
+// excluded (they necessarily differ in the VM field).
+func invocationsJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	raw, err := json.Marshal(res.Invocations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestRegisterTierPreservesResults is the differential witness for the
+// register tier (DESIGN.md §16): every workload in the suite and the
+// extended set, at opt 0 and opt 2, must produce byte-identical invocation
+// records — checksums, step counts, simulated cycles, perturbed times —
+// under VM "reg" and VM "stack". The tiers are two host-level
+// implementations of one simulated machine; any quickening guard,
+// unboxing escape, or lowering bug that changes an observable fails here
+// by workload name.
+func TestRegisterTierPreservesResults(t *testing.T) {
+	benches := append(append([]workloads.Benchmark{}, workloads.Suite()...),
+		workloads.Extended()...)
+	for _, b := range benches {
+		for _, opt := range []int{0, 2} {
+			b, opt := b, opt
+			t.Run(fmt.Sprintf("%s/opt%d", b.Name, opt), func(t *testing.T) {
+				t.Parallel()
+				opts := Options{
+					Mode: vm.ModeInterp, Invocations: 1, Iterations: 2,
+					Noise: noise.None(), Opt: opt, WithCounters: true,
+				}
+				opts.VM = "stack"
+				stack, err := NewRunner().Run(b, opts)
+				if err != nil {
+					t.Fatalf("stack tier: %v", err)
+				}
+				opts.VM = "reg"
+				reg, err := NewRunner().Run(b, opts)
+				if err != nil {
+					t.Fatalf("register tier: %v", err)
+				}
+				if got, want := reg.Invocations[0].Checksum, stack.Invocations[0].Checksum; got != want {
+					t.Errorf("checksum diverged: reg %s, stack %s", got, want)
+				}
+				sj, rj := invocationsJSON(t, stack), invocationsJSON(t, reg)
+				if string(sj) != string(rj) {
+					t.Errorf("invocation records diverged between tiers:\nstack: %s\nreg:   %s", sj, rj)
+				}
+			})
+		}
+	}
+}
+
+// TestRegisterTierUnderJIT checks that tier equivalence survives the
+// tracing JIT: back-edge counting, trace compilation, and guard failures
+// are keyed by original stack pcs, which the 1:1 lowering preserves, so
+// trace/bridge/guard statistics must also match exactly.
+func TestRegisterTierUnderJIT(t *testing.T) {
+	for _, name := range []string{"fib", "collatz", "branchy"} {
+		b, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("no benchmark %q", name)
+		}
+		opts := Options{Mode: vm.ModeJIT, Invocations: 1, Iterations: 3, Noise: noise.None()}
+		opts.VM = "stack"
+		stack, err := NewRunner().Run(b, opts)
+		if err != nil {
+			t.Fatalf("%s stack tier: %v", name, err)
+		}
+		opts.VM = "reg"
+		reg, err := NewRunner().Run(b, opts)
+		if err != nil {
+			t.Fatalf("%s register tier: %v", name, err)
+		}
+		sj, rj := invocationsJSON(t, stack), invocationsJSON(t, reg)
+		if string(sj) != string(rj) {
+			t.Errorf("%s: JIT invocation records diverged between tiers:\nstack: %s\nreg:   %s",
+				name, sj, rj)
+		}
+	}
+}
+
+// TestRegisterTierSampleSetsBitIdentical is the in-tree version of the
+// benchgate -equivalence gate: with the full noise model, multiple
+// invocations, and two seeds, the complete serialized sample set of a reg
+// run must equal that of a stack run byte for byte (Invocations only —
+// Options record which tier ran). Host-level details of either tier (arena
+// reuse, quickening order, interning hits) must never leak into simulated
+// measurements.
+func TestRegisterTierSampleSetsBitIdentical(t *testing.T) {
+	b, ok := workloads.ByName("fib")
+	if !ok {
+		t.Fatal("no fib benchmark")
+	}
+	for _, seed := range []uint64{42, 20260806} {
+		opts := Options{
+			Mode:         vm.ModeInterp,
+			Invocations:  3,
+			Iterations:   5,
+			Seed:         seed,
+			Noise:        noise.Default(),
+			WithCounters: true,
+		}
+		opts.VM = "reg"
+		reg, err := NewRunner().Run(b, opts)
+		if err != nil {
+			t.Fatalf("seed %d reg: %v", seed, err)
+		}
+		opts.VM = "stack"
+		stack, err := NewRunner().Run(b, opts)
+		if err != nil {
+			t.Fatalf("seed %d stack: %v", seed, err)
+		}
+		sj, rj := invocationsJSON(t, stack), invocationsJSON(t, reg)
+		if string(sj) != string(rj) {
+			t.Errorf("seed %d: sample sets differ between tiers", seed)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package minipy_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/minipy"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden register disassembly files")
+
+// lowerAll lowers a code object and every nested code object, returning
+// them name-keyed for assertions.
+func lowerAll(t *testing.T, code *minipy.Code) []*minipy.RCode {
+	t.Helper()
+	rc, err := minipy.LowerToRegister(code)
+	if err != nil {
+		t.Fatalf("lower %s: %v", code.Name, err)
+	}
+	out := []*minipy.RCode{rc}
+	for _, k := range code.Consts {
+		if sub, ok := k.(*minipy.Code); ok {
+			out = append(out, lowerAll(t, sub)...)
+		}
+	}
+	return out
+}
+
+// TestLowerIsPCPreserving pins the core equivalence obligation: the default
+// lowering is 1:1 — instruction i implements stack instruction i, carries
+// its opcode as Src, its immediate as Arg, and its own index as Orig — so
+// the simulated instruction stream is bit-identical by construction.
+func TestLowerIsPCPreserving(t *testing.T) {
+	for _, b := range workloads.Suite() {
+		for _, opt := range []int{0, 2} {
+			code, err := b.Compile()
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			if err := minipy.Verify(code); err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			if opt > 0 {
+				code, err = minipy.Optimize(code, opt, nil)
+				if err != nil {
+					t.Fatalf("%s: optimize: %v", b.Name, err)
+				}
+			}
+			for _, rc := range lowerAll(t, code) {
+				src := rc.Code
+				if len(rc.Ops) != len(src.Ops) {
+					t.Fatalf("%s/%s opt%d: %d register ops for %d stack ops",
+						b.Name, src.Name, opt, len(rc.Ops), len(src.Ops))
+				}
+				for pc, ri := range rc.Ops {
+					if int(ri.Orig) != pc {
+						t.Fatalf("%s/%s opt%d pc %d: Orig = %d", b.Name, src.Name, opt, pc, ri.Orig)
+					}
+					if rc.Depth[pc] < 0 {
+						continue // unreachable slot, lowered to RNOP
+					}
+					sins := src.Ops[pc]
+					if ri.Src != sins.Op {
+						t.Fatalf("%s/%s opt%d pc %d: Src %v for stack op %v",
+							b.Name, src.Name, opt, pc, ri.Src, sins.Op)
+					}
+					if ri.Arg != sins.Arg {
+						t.Fatalf("%s/%s opt%d pc %d: Arg %d for stack arg %d",
+							b.Name, src.Name, opt, pc, ri.Arg, sins.Arg)
+					}
+				}
+				if err := minipy.VerifyRegister(rc); err != nil {
+					t.Fatalf("%s opt%d: %v", b.Name, opt, err)
+				}
+				if rc.NumRegs != rc.NumLocals+src.MaxStack {
+					t.Fatalf("%s/%s opt%d: NumRegs %d, want locals %d + MaxStack %d",
+						b.Name, src.Name, opt, rc.NumRegs, rc.NumLocals, src.MaxStack)
+				}
+			}
+		}
+	}
+}
+
+// TestElideMovesVerifies lowers every workload, runs the A9 move-elision
+// pass, and checks the result still verifies, shrinks, and keeps source-pc
+// attribution intact.
+func TestElideMovesVerifies(t *testing.T) {
+	elidedSomething := false
+	for _, b := range workloads.Suite() {
+		code, err := b.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := minipy.Verify(code); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for _, rc := range lowerAll(t, code) {
+			opt := minipy.ElideMoves(rc)
+			if !opt.Elided {
+				t.Fatalf("%s/%s: ElideMoves did not mark the result", b.Name, rc.Code.Name)
+			}
+			if len(opt.Ops) > len(rc.Ops) {
+				t.Fatalf("%s/%s: elision grew the code: %d -> %d ops",
+					b.Name, rc.Code.Name, len(rc.Ops), len(opt.Ops))
+			}
+			if len(opt.Ops) < len(rc.Ops) {
+				elidedSomething = true
+			}
+			if err := minipy.VerifyRegister(opt); err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, rc.Code.Name, err)
+			}
+			for _, ins := range opt.Ops {
+				if int(ins.Orig) >= len(rc.Code.Ops) {
+					t.Fatalf("%s/%s: Orig %d out of source range", b.Name, rc.Code.Name, ins.Orig)
+				}
+			}
+		}
+	}
+	if !elidedSomething {
+		t.Fatal("move elision removed no instruction across the whole suite")
+	}
+}
+
+// TestVerifyRegisterRejects exercises the register verifier's failure
+// modes: out-of-range registers, bad jump targets, and quickened opcodes
+// in templates.
+func TestVerifyRegisterRejects(t *testing.T) {
+	code, err := minipy.CompileSource("def run():\n    return 1 + 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minipy.Verify(code); err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *minipy.RCode {
+		rc, err := minipy.LowerToRegister(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rc
+	}
+	rc := fresh()
+	rc.Ops[0].A = 99
+	if err := minipy.VerifyRegister(rc); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	rc = fresh()
+	for pc := range rc.Ops {
+		if rc.Ops[pc].Op == minipy.RopJump {
+			rc.Ops[pc].Arg = 1000
+		}
+	}
+	rc = fresh()
+	rc.Ops[0].Op = minipy.RopBinaryII
+	if err := minipy.VerifyRegister(rc); err == nil ||
+		!strings.Contains(err.Error(), "quickened") {
+		t.Errorf("quickened template op: got %v", err)
+	}
+}
+
+// TestRegisterDisassembleGolden pins the register disassembly of fib —
+// the default 1:1 lowering and the A9-elided variant — byte for byte.
+func TestRegisterDisassembleGolden(t *testing.T) {
+	b, ok := workloads.ByName("fib")
+	if !ok {
+		t.Fatal("no fib workload")
+	}
+	code, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minipy.Verify(code); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, rc := range lowerAll(t, code) {
+		sb.WriteString(rc.Disassemble())
+		sb.WriteString(minipy.ElideMoves(rc).Disassemble())
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "fib.regdis.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("register disassembly drifted from %s (run with -update if intentional)\n--- got\n%s", golden, got)
+	}
+}

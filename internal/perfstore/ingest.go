@@ -6,35 +6,20 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
-// BenchDoc mirrors cmd/benchjson's document format (a stable public shape:
-// the committed BENCH_vm.json). The provenance fields are stamped by
-// benchjson since v0.4; older docs simply lack them, and ingestion
-// tolerates that — attribution then relies on flags or git at ingest time.
-type BenchDoc struct {
-	Goos      string `json:"goos,omitempty"`
-	Goarch    string `json:"goarch,omitempty"`
-	Pkg       string `json:"pkg,omitempty"`
-	CPU       string `json:"cpu,omitempty"`
-	Commit    string `json:"commit,omitempty"`
-	Branch    string `json:"branch,omitempty"`
-	GoVersion string `json:"go_version,omitempty"`
-	TimeUTC   string `json:"time_utc,omitempty"`
-
-	Benchmarks []BenchEntry `json:"benchmarks"`
-}
+// BenchDoc is cmd/benchjson's document format (a stable public shape: the
+// committed BENCH_vm.json), owned by internal/benchfmt since the memory
+// gate moved there. The provenance fields are stamped by benchjson since
+// v0.4; older docs simply lack them, and ingestion tolerates that —
+// attribution then relies on flags or git at ingest time.
+type BenchDoc = benchfmt.Doc
 
 // BenchEntry is one wall-clock microbenchmark measurement.
-type BenchEntry struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-}
+type BenchEntry = benchfmt.Entry
 
 // FromBenchDoc converts a benchjson document into a run record. Wall-clock
 // numbers are host-dependent, so the host class is taken from the doc's

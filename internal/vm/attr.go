@@ -37,6 +37,8 @@ type aslot struct {
 // probe and the per-access BoundMethod allocation (identity semantics) are
 // preserved bit-for-bit.
 // benchlint:hotpath
+// benchlint:allow boxedhot — attribute targets and results are
+// identity-bearing references (Instance, BoundMethod); never tagged scalars
 func (in *Interp) getAttrCached(target minipy.Value, name string, slot *aslot) (minipy.Value, error) {
 	t, ok := target.(*minipy.Instance)
 	if !ok {

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/minipy"
@@ -11,7 +12,25 @@ import (
 // instrument for Tier-A host-level optimizations: frame pooling, inline
 // caches, interning, and dispatch restructuring. `make bench-go` runs them
 // through cmd/benchjson and compares against the committed BENCH_vm.json
-// baseline (captured on the pre-optimization VM).
+// baseline (captured on the register tier).
+//
+// BENCHVM_TIER selects the bytecode tier under test using the same spec
+// grammar as pybench -vm ("reg", "stack", "reg-elide"; empty = register).
+// CI's bench-vm job runs the suite once per tier and uploads the two
+// benchjson documents side by side; only the register-tier run is gated
+// against the committed baseline.
+
+// benchConfig returns the interpreter config for the tier selected by
+// BENCHVM_TIER, failing the benchmark on an unknown spec.
+func benchConfig(b *testing.B) Config {
+	b.Helper()
+	spec := os.Getenv("BENCHVM_TIER")
+	tier, elide, ok := TierSpec(spec)
+	if !ok {
+		b.Fatalf("BENCHVM_TIER=%q is not a tier spec (want reg, stack, or reg-elide)", spec)
+	}
+	return Config{Mode: ModeInterp, Tier: tier, RegElide: elide}
+}
 
 // compileBench compiles src once and fails the benchmark on error.
 func compileBench(b *testing.B, src string) *minipy.Code {
@@ -31,8 +50,9 @@ func compileBench(b *testing.B, src string) *minipy.Code {
 func runKernel(b *testing.B, src string) {
 	b.Helper()
 	code := compileBench(b, src)
+	cfg := benchConfig(b)
 	// Build one throwaway interp to validate the kernel before timing.
-	in := New(Config{Mode: ModeInterp})
+	in := New(cfg)
 	if _, err := in.RunModule(code); err != nil {
 		b.Fatal(err)
 	}
@@ -42,7 +62,7 @@ func runKernel(b *testing.B, src string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in := New(Config{Mode: ModeInterp})
+		in := New(cfg)
 		if _, err := in.RunModule(code); err != nil {
 			b.Fatal(err)
 		}
@@ -152,8 +172,9 @@ def run():
         i = i + 1
     return s
 `)
-	probe := &nullProbe{}
-	in := New(Config{Mode: ModeInterp, Probe: probe})
+	cfg := benchConfig(b)
+	cfg.Probe = &nullProbe{}
+	in := New(cfg)
 	if _, err := in.RunModule(code); err != nil {
 		b.Fatal(err)
 	}

@@ -10,6 +10,8 @@ import (
 // captured by a deferred closure (a deferred capture would force every
 // append through a heap cell).
 // benchlint:hotpath
+// benchlint:allow boxedhot — the stack tier's frame contract is boxed by
+// design; the register tier enters through regRunFrame instead
 func (in *Interp) runFrame(code *minipy.Code, locals []minipy.Value, cells []*minipy.Cell) (minipy.Value, error) {
 	in.depth++
 	if in.depth > in.maxDepth {
@@ -74,6 +76,7 @@ func (in *Interp) failAt(code *minipy.Code, pc int, err error) error {
 // that reaches memAccess while a probe is attached. Counter values at each
 // observation point are therefore bit-identical to the unhoisted form.
 // benchlint:hotpath
+// benchlint:allow boxedhot — the stack tier's operand stack is boxed by design
 func (in *Interp) frameLoop(code *minipy.Code, locals []minipy.Value, cells []*minipy.Cell,
 	stack []minipy.Value) (minipy.Value, []minipy.Value, error) {
 	st := in.state(code)

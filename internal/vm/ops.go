@@ -10,6 +10,8 @@ import (
 // binary evaluates a BinOpCode on two operands with Python semantics.
 // Runs on every OpBinary dispatch.
 // benchlint:hotpath
+// benchlint:allow boxedhot — generic fallback on already-boxed operands;
+// the register tier handles tagged scalars in intBinFast/floatBinFast first
 func (in *Interp) binary(op minipy.BinOpCode, a, b minipy.Value) (minipy.Value, error) {
 	// int ⊙ int comparisons are the single hottest binary shape (every loop
 	// condition); compare inline instead of through the generic ValueLess /
@@ -283,6 +285,7 @@ func (in *Interp) contains(a, b minipy.Value) (minipy.Value, error) {
 
 // unary evaluates a UnOpCode. Runs on every OpUnary dispatch.
 // benchlint:hotpath
+// benchlint:allow boxedhot — generic fallback on already-boxed operands
 func (in *Interp) unary(op minipy.UnOpCode, v minipy.Value) (minipy.Value, error) {
 	switch op {
 	case minipy.UnNot:
@@ -476,6 +479,13 @@ func seqIndex(index minipy.Value, n int) (int, error) {
 	default:
 		return 0, typeErr("indices must be integers, not %s", index.TypeName())
 	}
+	return seqIndexInt(i, n)
+}
+
+// seqIndexInt normalizes an already-unboxed sequence index: the tail of
+// seqIndex shared with the register tier, which has the int64 payload in a
+// tagged slot and never needs the type switch.
+func seqIndexInt(i int64, n int) (int, error) {
 	if i < 0 {
 		i += int64(n)
 	}
